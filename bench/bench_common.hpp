@@ -1,0 +1,63 @@
+// Shared plumbing for the experiment binaries: banner printing, CSV output
+// location, and the measured-vs-predicted table assembly used by every
+// experiment. Each bench prints the same kind of artifact: a table with one
+// row per sweep point carrying the measured minimum resource, the paper's
+// predicted curve, and the fitted constant/slope comparison.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/harness.hpp"
+#include "stats/shape.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace duti::bench {
+
+/// Where CSVs land; created on demand.
+inline std::string output_dir() {
+  const char* env = std::getenv("DUTI_BENCH_OUT");
+  std::string dir = env ? env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n=================================================================\n"
+            << id << "\n" << claim
+            << "\n=================================================================\n";
+}
+
+/// Print the shape verdict under a finished sweep table.
+inline void print_shape(const std::vector<double>& x,
+                        const std::vector<double>& measured,
+                        const std::vector<double>& predicted,
+                        const std::string& what) {
+  const auto cmp = compare_shapes(x, measured, predicted);
+  std::cout << "shape check (" << what << "):\n"
+            << "  fitted constant c      = " << format_double(cmp.fitted_constant)
+            << "\n  measured log-log slope = " << format_double(cmp.measured_slope)
+            << "\n  predicted slope        = " << format_double(cmp.predicted_slope)
+            << "\n  slope gap              = " << format_double(cmp.slope_gap)
+            << "\n  max ratio deviation    = "
+            << format_double(cmp.max_ratio_deviation) << "\n";
+}
+
+/// Stock flags every sweep bench accepts.
+struct CommonFlags {
+  std::int64_t trials;
+  std::int64_t seed;
+  bool quick;
+
+  explicit CommonFlags(const Cli& cli)
+      : trials(cli.get_int("trials", 150)),
+        seed(cli.get_int("seed", 1)),
+        quick(cli.get_bool("quick", false)) {}
+};
+
+}  // namespace duti::bench

@@ -1,0 +1,174 @@
+// E10 — the asymmetric-cost model of Section 6.2.
+//
+// Paper claim: if player i samples at rate T_i for tau time units
+// (q_i = T_i * tau), the optimal time is tau = Theta(sqrt(n)/(eps^2 ||T||_2))
+// — only the l2 norm of the rate vector matters, not its shape.
+//
+// The bench measures the minimal integer tau for several rate vectors with
+// DIFFERENT shapes but controlled l2 norms, and checks that
+// tau* x ||T||_2 is approximately the same constant across shapes.
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "core/predictions.hpp"
+#include "stats/workloads.hpp"
+#include "testers/collision.hpp"
+#include "testers/distributed.hpp"
+#include "util/confidence.hpp"
+
+namespace {
+
+using namespace duti;
+
+double l2_norm(const std::vector<double>& rates) {
+  double acc = 0.0;
+  for (double t : rates) acc += t * t;
+  return std::sqrt(acc);
+}
+
+/// One protocol execution at time budget tau: player i draws
+/// q_i = max(2, ceil(tau * T_i)) samples and votes on its local collision
+/// count; the referee threshold is calibrated per configuration.
+class AsymmetricTester {
+ public:
+  AsymmetricTester(std::uint64_t n, std::vector<double> rates, double tau,
+                   Rng& calib_rng)
+      : n_(n), qs_(rates.size()) {
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      qs_[j] = static_cast<unsigned>(
+          std::max(2.0, std::ceil(tau * rates[j])));
+    }
+    // Per-player uniform rejection probabilities by simulation.
+    p_.resize(qs_.size());
+    const UniformSource uniform(n_);
+    std::vector<std::uint64_t> samples;
+    for (std::size_t j = 0; j < qs_.size(); ++j) {
+      const double local_t = expected_collision_pairs_uniform(
+          static_cast<double>(n_), qs_[j]);
+      SuccessCounter rejects;
+      for (int t = 0; t < 600; ++t) {
+        uniform.sample_many(calib_rng, qs_[j], samples);
+        rejects.record(static_cast<double>(collision_pairs(samples)) >
+                       local_t);
+      }
+      p_[j] = rejects.rate();
+    }
+    double mean = 0.0, var = 0.0;
+    for (double p : p_) {
+      mean += p;
+      var += p * (1.0 - p);
+    }
+    referee_t_ = mean + std::sqrt(std::max(1e-12, var));
+  }
+
+  [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const {
+    std::vector<std::uint64_t> samples;
+    double rejects = 0.0;
+    for (std::size_t j = 0; j < qs_.size(); ++j) {
+      Rng player_rng = make_rng(rng(), j);
+      source.sample_many(player_rng, qs_[j], samples);
+      const double local_t = expected_collision_pairs_uniform(
+          static_cast<double>(n_), qs_[j]);
+      if (static_cast<double>(collision_pairs(samples)) > local_t) {
+        rejects += 1.0;
+      }
+    }
+    return rejects < referee_t_;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::vector<unsigned> qs_;
+  std::vector<double> p_;
+  double referee_t_ = 1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace duti;
+  const Cli cli(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << "e10_asymmetric --n=4096 --eps=0.5 --trials=150\n";
+    return 0;
+  }
+  const bench::CommonFlags flags(cli);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 4096));
+  const double eps = cli.get_double("eps", 0.5);
+
+  bench::banner("E10  asymmetric sampling rates  [Section 6.2]",
+                "expected: tau* ~ sqrt(n)/(eps^2 ||T||_2); tau* x ||T||_2 "
+                "approximately constant across rate-vector shapes");
+
+  struct Shape {
+    std::string name;
+    std::vector<double> rates;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"uniform x16", std::vector<double>(16, 1.0)});
+  {
+    std::vector<double> one_fast(16, 1.0);
+    one_fast[0] = 8.0;
+    shapes.push_back({"one fast node", one_fast});
+  }
+  {
+    std::vector<double> two_speed(16, 1.0);
+    for (int i = 0; i < 8; ++i) two_speed[static_cast<std::size_t>(i)] = 3.0;
+    shapes.push_back({"half fast", two_speed});
+  }
+  {
+    std::vector<double> few(4, 2.0);
+    shapes.push_back({"4 nodes at rate 2", few});
+  }
+
+  Table table({"rate vector", "||T||_2", "tau* (measured)",
+               "predicted sqrt(n)/(eps^2 ||T||_2)", "tau* x ||T||_2"});
+  std::vector<double> products;
+  for (const auto& shape : shapes) {
+    const ProbeFn probe = [&](std::uint64_t tau) {
+      Rng calib_rng =
+          make_rng(static_cast<std::uint64_t>(flags.seed), tau, 0xCA11B);
+      const AsymmetricTester tester(n, shape.rates,
+                                    static_cast<double>(tau), calib_rng);
+      const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
+        return tester.run(src, rng);
+      };
+      return probe_success(
+          run, workloads::uniform_factory(n),
+          workloads::paninski_far_factory(n, eps),
+          static_cast<std::size_t>(flags.trials),
+          derive_seed(static_cast<std::uint64_t>(flags.seed), tau,
+                      shape.rates.size()));
+    };
+    MinSearchConfig cfg;
+    cfg.lo = 2;
+    cfg.hi = 1ULL << 14;
+    cfg.trials = static_cast<std::size_t>(flags.trials);
+    cfg.seed = static_cast<std::uint64_t>(flags.seed);
+    const auto result = find_min_param(probe, cfg);
+    if (!result.found) {
+      std::cout << shape.name << ": search failed\n";
+      continue;
+    }
+    const double norm = l2_norm(shape.rates);
+    const double product = static_cast<double>(result.minimum) * norm;
+    products.push_back(product);
+    table.add_row({shape.name, norm,
+                   static_cast<std::int64_t>(result.minimum),
+                   predict::asymmetric_tau(static_cast<double>(n), eps,
+                                           shape.rates),
+                   product});
+  }
+  table.print(std::cout, "E10: time-to-decision vs rate-vector shape");
+  table.write_csv(bench::output_dir() + "/e10_asymmetric.csv");
+  if (products.size() >= 2) {
+    const double lo = *std::min_element(products.begin(), products.end());
+    const double hi = *std::max_element(products.begin(), products.end());
+    std::cout << "spread of tau* x ||T||_2 across shapes: "
+              << format_double(hi / lo) << "x (paper: constant)\n";
+    return hi / lo < 3.0 ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E1 — Theorem 1.1 / Theorem 6.1 (arbitrary decision rules).
+//
+// Paper claim: with any decision rule and k <= n/eps^2 players, every
+// uniformity tester needs q = Omega(sqrt(n/k)/eps^2) samples per player,
+// and the threshold tester of [7] meets this, so the measured minimal q of
+// our calibrated threshold tester should scale like sqrt(n/k)/eps^2: a
+// log-log slope of -1/2 in k.
+//
+// This bench sweeps k, measures the minimal q at which the tester clears
+// 2/3 two-sided success, prints it against the predicted curve, and also
+// prints the Theorem 6.1 lower bound (inequality (13) constants) which
+// must lie below every measured point.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/divergence.hpp"
+#include "core/predictions.hpp"
+#include "stats/workloads.hpp"
+#include "testers/distributed.hpp"
+
+namespace {
+
+using namespace duti;
+
+std::uint64_t measure_q_star(std::uint64_t n, unsigned k, double eps,
+                             std::size_t trials, std::uint64_t seed) {
+  const ProbeFn probe = [=](std::uint64_t q) {
+    Rng calib_rng = make_rng(seed, q, 0xCA11B);
+    const DistributedThresholdTester tester(
+        {n, k, static_cast<unsigned>(q), eps}, calib_rng);
+    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
+      return tester.run(src, rng);
+    };
+    return probe_success(run, workloads::uniform_factory(n),
+                         workloads::paninski_far_factory(n, eps), trials,
+                         derive_seed(seed, q));
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1ULL << 16;
+  cfg.trials = trials;
+  cfg.seed = seed;
+  const auto result = find_min_param(probe, cfg);
+  return result.found ? result.minimum : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace duti;
+  const Cli cli(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << "e1_any_rule --n=4096 --eps=0.5 --ks=2,4,8,16,32,64,128,256 "
+                 "--trials=150 --seed=1\n";
+    return 0;
+  }
+  const bench::CommonFlags flags(cli);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 4096));
+  const double eps = cli.get_double("eps", 0.5);
+  auto ks = cli.get_int_list("ks", {2, 4, 8, 16, 32, 64, 128, 256});
+  if (flags.quick) ks = {2, 16, 128};
+
+  bench::banner("E1  any-rule sample complexity vs k  [Thm 1.1 / 6.1]  (k=1 is the centralized case, covered by E8)",
+                "expected: q* ~ sqrt(n/k)/eps^2 (slope -1/2 in k); the "
+                "Thm 6.1 lower bound sits below every measured point");
+
+  Table table({"k", "q* (measured)", "predicted sqrt(n/k)/eps^2",
+               "thm6.1 lower bound", "total k*q*"});
+  std::vector<double> xs, measured, predicted;
+  for (const auto k : ks) {
+    const auto q_star = measure_q_star(
+        n, static_cast<unsigned>(k), eps,
+        static_cast<std::size_t>(flags.trials),
+        derive_seed(static_cast<std::uint64_t>(flags.seed), k));
+    if (q_star == 0) {
+      std::cout << "k=" << k << ": search failed (cap too low?)\n";
+      continue;
+    }
+    const double pred = predict::thm11_any_rule_q(
+        static_cast<double>(n), static_cast<double>(k), eps);
+    const double lower = theorem61_q_lower_bound(static_cast<double>(n),
+                                                 static_cast<double>(k), eps);
+    table.add_row({k, static_cast<std::int64_t>(q_star), pred, lower,
+                   static_cast<std::int64_t>(q_star * static_cast<std::uint64_t>(k))});
+    xs.push_back(static_cast<double>(k));
+    measured.push_back(static_cast<double>(q_star));
+    predicted.push_back(pred);
+  }
+  table.print(std::cout, "E1: minimal per-player q vs number of players k");
+  table.write_csv(bench::output_dir() + "/e1_any_rule.csv");
+  if (xs.size() >= 2) {
+    bench::print_shape(xs, measured, predicted, "q* vs k");
+  }
+
+  // Lower-bound consistency: every measured point must be above the
+  // Theorem 6.1 bound.
+  bool consistent = true;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double lower = theorem61_q_lower_bound(static_cast<double>(n),
+                                                 xs[i], eps);
+    if (measured[i] < lower) consistent = false;
+  }
+  std::cout << "Theorem 6.1 lower bound respected at every k: "
+            << (consistent ? "YES" : "NO") << "\n";
+  return consistent ? 0 : 1;
+}

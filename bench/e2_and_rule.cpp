@@ -1,0 +1,117 @@
+// E2 — Theorem 1.2 / Theorem 6.5 (the AND decision rule is expensive).
+//
+// Paper claim: with the AND rule and k <= 2^{c/eps} players, every tester
+// needs q = Omega(sqrt(n)/(log^2(k) eps^2)) — adding players buys at most a
+// polylog factor, versus the sqrt(k) gain available to arbitrary rules.
+//
+// This bench measures the minimal per-player q of (a) the calibrated
+// AND-rule tester and (b) the calibrated threshold tester, across k. The
+// AND curve should stay nearly flat while the threshold curve falls like
+// k^{-1/2}; the gap between them at large k is the measured "price of
+// locality".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/predictions.hpp"
+#include "stats/workloads.hpp"
+#include "testers/distributed.hpp"
+
+namespace {
+
+using namespace duti;
+
+template <typename MakeTester>
+std::uint64_t measure_q_star(std::uint64_t n, double eps, std::size_t trials,
+                             std::uint64_t seed, const MakeTester& make) {
+  const ProbeFn probe = [&, n, eps, trials, seed](std::uint64_t q) {
+    const auto tester = make(static_cast<unsigned>(q), derive_seed(seed, q));
+    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
+      return tester->run(src, rng);
+    };
+    return probe_success(run, workloads::uniform_factory(n),
+                         workloads::paninski_far_factory(n, eps), trials,
+                         derive_seed(seed, q, 1));
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1ULL << 16;
+  cfg.trials = trials;
+  cfg.seed = seed;
+  const auto result = find_min_param(probe, cfg);
+  return result.found ? result.minimum : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace duti;
+  const Cli cli(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << "e2_and_rule --n=1024 --eps=0.5 --ks=2,8,32,128,512 "
+                 "--trials=150 --seed=1\n";
+    return 0;
+  }
+  const bench::CommonFlags flags(cli);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
+  const double eps = cli.get_double("eps", 0.5);
+  auto ks = cli.get_int_list("ks", {2, 8, 32, 128, 512});
+  if (flags.quick) ks = {2, 32, 512};
+
+  bench::banner("E2  AND rule vs threshold rule, q* vs k  [Thm 1.2 / 6.5]",
+                "expected: AND-rule q* nearly flat in k (polylog gain only); "
+                "threshold-rule q* falls like k^{-1/2}");
+
+  Table table({"k", "q* AND rule", "q* threshold rule", "AND/threshold",
+               "thm1.2 lower-bound shape", "fmo AND-tester shape"});
+  std::vector<double> xs, and_measured, thr_measured;
+  for (const auto k : ks) {
+    const auto seed_k = derive_seed(static_cast<std::uint64_t>(flags.seed), k);
+    const auto q_and = measure_q_star(
+        n, eps, static_cast<std::size_t>(flags.trials), seed_k,
+        [&](unsigned q, std::uint64_t /*s*/) {
+          return std::make_unique<DistributedAndTester>(DistributedTesterConfig{
+              n, static_cast<unsigned>(k), q, eps});
+        });
+    const auto q_thr = measure_q_star(
+        n, eps, static_cast<std::size_t>(flags.trials),
+        derive_seed(seed_k, 7),
+        [&](unsigned q, std::uint64_t s) {
+          Rng calib_rng(s);
+          return std::make_unique<DistributedThresholdTester>(
+              DistributedTesterConfig{n, static_cast<unsigned>(k), q, eps},
+              calib_rng);
+        });
+    if (q_and == 0 || q_thr == 0) {
+      std::cout << "k=" << k << ": search failed\n";
+      continue;
+    }
+    table.add_row(
+        {k, static_cast<std::int64_t>(q_and),
+         static_cast<std::int64_t>(q_thr),
+         static_cast<double>(q_and) / static_cast<double>(q_thr),
+         predict::thm12_and_rule_q(static_cast<double>(n),
+                                   static_cast<double>(k), eps),
+         predict::fmo_and_tester_q(static_cast<double>(n),
+                                   static_cast<double>(k), eps)});
+    xs.push_back(static_cast<double>(k));
+    and_measured.push_back(static_cast<double>(q_and));
+    thr_measured.push_back(static_cast<double>(q_thr));
+  }
+  table.print(std::cout, "E2: the price of the local (AND) decision rule");
+  table.write_csv(bench::output_dir() + "/e2_and_rule.csv");
+
+  if (xs.size() >= 2) {
+    const auto and_fit = fit_power_law(xs, and_measured);
+    const auto thr_fit = fit_power_law(xs, thr_measured);
+    std::cout << "measured slope in k:  AND rule = "
+              << format_double(and_fit.slope)
+              << "  (paper: ~0 up to polylog)\n"
+              << "                      threshold = "
+              << format_double(thr_fit.slope) << "  (paper: -1/2)\n";
+    const bool and_flatter = and_fit.slope > thr_fit.slope + 0.15;
+    std::cout << "AND rule measurably flatter than threshold rule: "
+              << (and_flatter ? "YES" : "NO") << "\n";
+    return and_flatter ? 0 : 1;
+  }
+  return 0;
+}

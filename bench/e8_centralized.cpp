@@ -1,0 +1,120 @@
+// E8 — the centralized baseline [Paninski'08]: q = Theta(sqrt(n)/eps^2).
+//
+// Every distributed result in the paper is measured against this baseline.
+// The bench measures the collision tester's minimal q (a) across n at
+// fixed eps (expected log-log slope 1/2) and (b) across eps at fixed n
+// (expected slope -2).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/predictions.hpp"
+#include "stats/workloads.hpp"
+#include "testers/centralized.hpp"
+
+namespace {
+
+using namespace duti;
+
+template <typename Tester>
+std::uint64_t measure_q_star(std::uint64_t n, double eps, std::size_t trials,
+                             std::uint64_t seed) {
+  const ProbeFn probe = [=](std::uint64_t q) {
+    const Tester tester(n, eps, static_cast<unsigned>(q));
+    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
+      return tester.run(src, rng);
+    };
+    return probe_success(run, workloads::uniform_factory(n),
+                         workloads::paninski_far_factory(n, eps), trials,
+                         derive_seed(seed, q));
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1ULL << 18;
+  cfg.trials = trials;
+  cfg.seed = seed;
+  const auto result = find_min_param(probe, cfg);
+  return result.found ? result.minimum : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace duti;
+  const Cli cli(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << "e8_centralized --eps=0.5 --n=4096 "
+                 "--ns=256,1024,4096,16384 --trials=200\n";
+    return 0;
+  }
+  const bench::CommonFlags flags(cli);
+  const double eps = cli.get_double("eps", 0.5);
+  const auto n_fixed = static_cast<std::uint64_t>(cli.get_int("n", 4096));
+  auto ns = cli.get_int_list("ns", {256, 1024, 4096, 16384});
+  if (flags.quick) ns = {256, 4096};
+
+  bench::banner("E8  centralized baseline q* ~ sqrt(n)/eps^2  [Paninski'08]",
+                "expected: slope 1/2 in n, slope -2 in eps");
+
+  Table n_table({"n", "q* collision", "q* chi-squared", "q* coincidence",
+                 "predicted sqrt(n)/eps^2"});
+  std::vector<double> xs, measured, predicted;
+  for (const auto n : ns) {
+    const auto nd = static_cast<std::uint64_t>(n);
+    const auto seed_n =
+        derive_seed(static_cast<std::uint64_t>(flags.seed), n);
+    const auto q_star = measure_q_star<CentralizedCollisionTester>(
+        nd, eps, static_cast<std::size_t>(flags.trials), seed_n);
+    const auto q_chi = measure_q_star<ChiSquaredTester>(
+        nd, eps, static_cast<std::size_t>(flags.trials),
+        derive_seed(seed_n, 1));
+    const auto q_coin = measure_q_star<PaninskiCoincidenceTester>(
+        nd, eps, static_cast<std::size_t>(flags.trials),
+        derive_seed(seed_n, 2));
+    if (q_star == 0) continue;
+    const double pred = predict::centralized_q(static_cast<double>(n), eps);
+    n_table.add_row({n, static_cast<std::int64_t>(q_star),
+                     static_cast<std::int64_t>(q_chi),
+                     static_cast<std::int64_t>(q_coin), pred});
+    xs.push_back(static_cast<double>(n));
+    measured.push_back(static_cast<double>(q_star));
+    predicted.push_back(pred);
+  }
+  n_table.print(std::cout, "E8a: q* vs n at eps=" + format_double(eps));
+  n_table.write_csv(bench::output_dir() + "/e8_centralized_n.csv");
+  double slope_n = 0.0;
+  if (xs.size() >= 2) {
+    bench::print_shape(xs, measured, predicted, "q* vs n");
+    slope_n = fit_power_law(xs, measured).slope;
+  }
+
+  Table eps_table({"eps", "q* (measured)", "predicted sqrt(n)/eps^2"});
+  std::vector<double> exs, emeasured, epredicted;
+  std::vector<double> eps_values{0.25, 0.35, 0.5, 0.7, 1.0};
+  if (flags.quick) eps_values = {0.25, 0.5, 1.0};
+  for (const double e : eps_values) {
+    const auto q_star = measure_q_star<CentralizedCollisionTester>(
+        n_fixed, e, static_cast<std::size_t>(flags.trials),
+        derive_seed(static_cast<std::uint64_t>(flags.seed),
+                    static_cast<std::uint64_t>(e * 1000)));
+    if (q_star == 0) continue;
+    const double pred =
+        predict::centralized_q(static_cast<double>(n_fixed), e);
+    eps_table.add_row({e, static_cast<std::int64_t>(q_star), pred});
+    exs.push_back(e);
+    emeasured.push_back(static_cast<double>(q_star));
+    epredicted.push_back(pred);
+  }
+  eps_table.print(std::cout,
+                  "E8b: q* vs eps at n=" + std::to_string(n_fixed));
+  eps_table.write_csv(bench::output_dir() + "/e8_centralized_eps.csv");
+  double slope_e = 0.0;
+  if (exs.size() >= 2) {
+    bench::print_shape(exs, emeasured, epredicted, "q* vs eps");
+    slope_e = fit_power_law(exs, emeasured).slope;
+  }
+  const bool ok = std::fabs(slope_n - 0.5) < 0.2 && std::fabs(slope_e + 2.0) < 0.7;
+  std::cout << "slopes within tolerance of (1/2, -2): " << (ok ? "YES" : "NO")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Substrate microbenchmarks (google-benchmark): the hot paths every
+// experiment turns on. Includes the D2 ablation (alias vs inverse-CDF
+// sampling).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/alias_sampler.hpp"
+#include "dist/generators.hpp"
+#include "dist/nu_z.hpp"
+#include "fourier/wht.hpp"
+#include "sim/protocol.hpp"
+#include "testers/collision.hpp"
+#include "testers/distributed.hpp"
+
+namespace {
+
+using namespace duti;
+
+void BM_AliasSampler(benchmark::State& state) {
+  Rng rng(1);
+  const auto dist = gen::zipf(static_cast<std::size_t>(state.range(0)), 1.0);
+  const AliasSampler sampler(dist.pmf_vector());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSampler)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 20);
+
+/// D2 ablation: inverse-CDF sampling via binary search on the cumulative
+/// weights — O(log n) per draw where alias is O(1).
+void BM_InverseCdfSampler(benchmark::State& state) {
+  Rng rng(1);
+  const auto dist = gen::zipf(static_cast<std::size_t>(state.range(0)), 1.0);
+  std::vector<double> cdf(dist.domain_size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    acc += dist.pmf(i);
+    cdf[i] = acc;
+  }
+  for (auto _ : state) {
+    const double u = rng.next_double();
+    benchmark::DoNotOptimize(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+  }
+}
+BENCHMARK(BM_InverseCdfSampler)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_NuZSample(benchmark::State& state) {
+  Rng rng(2);
+  const unsigned ell = static_cast<unsigned>(state.range(0));
+  const NuZ nu(CubeDomain(ell), PerturbationVector::random(ell, rng), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nu.sample(rng));
+  }
+}
+BENCHMARK(BM_NuZSample)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Wht(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> data(1ULL << static_cast<unsigned>(state.range(0)));
+  for (auto& v : data) v = rng.next_double();
+  for (auto _ : state) {
+    std::vector<double> copy = data;
+    wht_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Wht)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_CollisionPairs(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::uint64_t> samples(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& s : samples) s = rng.next_below(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collision_pairs(samples));
+  }
+}
+BENCHMARK(BM_CollisionPairs)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ProtocolRound(benchmark::State& state) {
+  Rng rng(5);
+  const auto k = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = 4096;
+  const unsigned q = 32;
+  const auto protocol = SimultaneousProtocol(
+      k, q, make_collision_voters(q, expected_collision_pairs_uniform(
+                                         static_cast<double>(n), q)));
+  const UniformSource source(n);
+  const auto rule = DecisionRule::threshold(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.run(source, rng, rule).accept);
+  }
+}
+BENCHMARK(BM_ProtocolRound)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PerturbationVector(benchmark::State& state) {
+  Rng rng(6);
+  const unsigned ell = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PerturbationVector::random(ell, rng));
+  }
+}
+BENCHMARK(BM_PerturbationVector)->Arg(10)->Arg(20)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

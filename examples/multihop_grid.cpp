@@ -1,0 +1,83 @@
+// Multi-hop deployment: distributed uniformity testing on a 2D sensor grid
+// (LOCAL/CONGEST-model flavor). There is no star network here — votes
+// flow to the base station along a BFS spanning tree of the grid, so the
+// round cost is the network DIAMETER while the communication stays at one
+// O(log k)-bit message per node per epoch, regardless of where the base
+// station sits.
+//
+//   ./multihop_grid [--rows=8] [--cols=8] [--n=1024] [--eps=0.5] [--q=80]
+#include <iostream>
+
+#include "dist/generators.hpp"
+#include "testers/tree_tester.hpp"
+#include "util/cli.hpp"
+#include "util/confidence.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace duti;
+  const Cli cli(argc, argv);
+  const auto rows = static_cast<std::uint32_t>(cli.get_int("rows", 8));
+  const auto cols = static_cast<std::uint32_t>(cli.get_int("cols", 8));
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
+  const double eps = cli.get_double("eps", 0.5);
+  const auto q = static_cast<unsigned>(cli.get_int("q", 80));
+  const auto epochs = static_cast<int>(cli.get_int("epochs", 80));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+
+  const std::uint32_t k = rows * cols;
+  std::cout << rows << "x" << cols << " sensor grid (" << k
+            << " nodes), measurements uniform over " << n
+            << " buckets when healthy, eps = " << eps << ", q = " << q
+            << " per node per epoch\n\n";
+
+  // Compare base-station placements: corner (max diameter) vs center.
+  struct Placement {
+    std::string name;
+    NodeId root;
+  };
+  const std::vector<Placement> placements{
+      {"corner (0,0)", 0},
+      {"center", (rows / 2) * cols + cols / 2},
+  };
+
+  Table table({"base station", "tree height", "rounds/epoch",
+               "bits/epoch", "uniform accept", "anomaly detect"});
+  bool all_ok = true;
+  for (const auto& placement : placements) {
+    Network net(k);
+    add_grid(net, rows, cols);
+    Rng calib = make_rng(seed, placement.root, 0);
+    const TreeUniformityTester tester(net, placement.root, {n, q, eps},
+                                      calib);
+    SuccessCounter uniform_ok, far_ok;
+    std::uint64_t bits = 0;
+    unsigned rounds = 0;
+    const UniformSource healthy(n);
+    for (int e = 0; e < epochs; ++e) {
+      Rng r1 = make_rng(seed, placement.root, 1, e);
+      const auto healthy_run = tester.run_epoch(healthy, r1);
+      uniform_ok.record(healthy_run.accept);
+      bits += healthy_run.stats.bits_sent;
+      rounds = healthy_run.stats.rounds_executed;
+      Rng g = make_rng(seed, placement.root, 2, e);
+      const DistributionSource anomaly(gen::paninski(n, eps, g));
+      Rng r2 = make_rng(seed, placement.root, 3, e);
+      far_ok.record(!tester.run_epoch(anomaly, r2).accept);
+    }
+    if (uniform_ok.rate() < 2.0 / 3.0 || far_ok.rate() < 2.0 / 3.0) {
+      all_ok = false;
+    }
+    table.add_row({placement.name,
+                   static_cast<std::int64_t>(tester.tree().height),
+                   static_cast<std::int64_t>(rounds),
+                   static_cast<double>(bits) / epochs, uniform_ok.rate(),
+                   far_ok.rate()});
+  }
+  table.print(std::cout, "multi-hop testing epochs");
+  std::cout << "\nSame votes, same accuracy, same total bits — only the "
+               "round count changes with the tree height.\nThe decision "
+               "quality is governed by the simultaneous-message theory "
+               "(Theorem 1.1):\nthe topology only delays the referee.\n";
+  return all_ok ? 0 : 1;
+}

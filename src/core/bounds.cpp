@@ -1,0 +1,88 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti::bounds {
+
+namespace {
+void check_common(double n, double q, double eps) {
+  duti::require(n >= 2.0, "bounds: n must be >= 2");
+  duti::require(q >= 1.0, "bounds: q must be >= 1");
+  duti::require(eps > 0.0 && eps <= 1.0, "bounds: eps in (0,1]");
+}
+}  // namespace
+
+bool lemma51_valid(double n, double q, double eps) {
+  check_common(n, q, eps);
+  return q <= std::sqrt(n) / (4.0 * eps * eps);
+}
+
+double lemma51_bound(double n, double q, double eps, double var_g) {
+  check_common(n, q, eps);
+  duti::require(var_g >= 0.0, "lemma51_bound: var must be >= 0");
+  return 4.0 * q * eps * eps / std::sqrt(n) * std::sqrt(var_g);
+}
+
+bool lemma42_valid(double n, double q, double eps) {
+  check_common(n, q, eps);
+  return q <= std::sqrt(n) / (20.0 * eps * eps);
+}
+
+double lemma42_bound(double n, double q, double eps, double var_g) {
+  check_common(n, q, eps);
+  duti::require(var_g >= 0.0, "lemma42_bound: var must be >= 0");
+  const double e2 = eps * eps;
+  return (20.0 * q * q * e2 * e2 / n + q * e2 / n) * var_g;
+}
+
+bool lemma43_valid(double n, double q, double eps, unsigned m) {
+  check_common(n, q, eps);
+  duti::require(m >= 1, "lemma43_valid: m >= 1");
+  const double md = static_cast<double>(m);
+  const double base = 40.0 * md * md * eps * eps;
+  const double cap1 = std::sqrt(n) / base;
+  const double cap2 = std::sqrt(n) / std::pow(base, md + 1.0);
+  return q <= std::min(cap1, cap2);
+}
+
+double lemma43_bound(double n, double q, double eps, unsigned m,
+                     double var_g) {
+  check_common(n, q, eps);
+  duti::require(m >= 1, "lemma43_bound: m >= 1");
+  duti::require(var_g >= 0.0, "lemma43_bound: var must be >= 0");
+  const double md = static_cast<double>(m);
+  const double ratio = q / std::sqrt(n);
+  const double exponent = (2.0 * md + 1.0) / (2.0 * md + 2.0);
+  return (ratio + std::pow(ratio, 1.0 / (2.0 * md + 2.0))) * 40.0 * md * md *
+         eps * eps * std::pow(var_g, exponent);
+}
+
+bool lemma44_valid(double n, double q, double eps, unsigned m) {
+  check_common(n, q, eps);
+  duti::require(m >= 1, "lemma44_valid: m >= 1");
+  const double md = static_cast<double>(m);
+  const double base = (40.0 * md) * (40.0 * md) * eps * eps;
+  const double cap1 = std::sqrt(n) / std::pow(base, md + 1.0);
+  const double cap2 = std::sqrt(n) / base;
+  return q <= std::min(cap1, cap2);
+}
+
+double lemma44_bound(double n, double q, double eps, unsigned m, double var_g,
+                     double big_c) {
+  check_common(n, q, eps);
+  duti::require(m >= 1, "lemma44_bound: m >= 1");
+  duti::require(var_g >= 0.0, "lemma44_bound: var must be >= 0");
+  duti::require(big_c > 0.0, "lemma44_bound: C must be positive");
+  const double md = static_cast<double>(m);
+  const double e2 = eps * eps;
+  const double ratio = q / std::sqrt(n);
+  const double first = 2.0 * e2 * q / n * var_g;
+  const double second = big_c *
+                        (ratio + std::pow(ratio, 1.0 / (md + 1.0))) * md * md *
+                        e2 * std::pow(var_g, 2.0 - 1.0 / (md + 1.0));
+  return first + second;
+}
+
+}  // namespace duti::bounds

@@ -1,0 +1,47 @@
+// The main lemmas' bound formulas (Lemmas 5.1, 4.2, 4.3, 4.4), as plain
+// functions of (n, q, eps, var(G), m). Each comes with a validity predicate
+// capturing the lemma's hypothesis on q. The benches compare these bounds
+// to exact/Monte-Carlo evaluations of the left-hand sides from
+// MessageAnalysis, confirming the inequalities and showing where each bound
+// is tight.
+#pragma once
+
+namespace duti::bounds {
+
+/// Lemma 5.1 hypothesis: q <= sqrt(n) / (4 eps^2).
+[[nodiscard]] bool lemma51_valid(double n, double q, double eps);
+
+/// Lemma 5.1: |E_z[nu_z(G)] - mu(G)| <= (4 q eps^2 / sqrt(n)) sqrt(var G).
+[[nodiscard]] double lemma51_bound(double n, double q, double eps,
+                                   double var_g);
+
+/// Lemma 4.2 hypothesis: q <= sqrt(n) / (20 eps^2).
+[[nodiscard]] bool lemma42_valid(double n, double q, double eps);
+
+/// Lemma 4.2: E_z[|nu_z(G) - mu(G)|^2]
+///            <= (20 q^2 eps^4 / n + q eps^2 / n) var(G).
+[[nodiscard]] double lemma42_bound(double n, double q, double eps,
+                                   double var_g);
+
+/// Lemma 4.3 hypothesis:
+/// q <= min( sqrt(n)/(40 m^2 eps^2), sqrt(n)/(40 m^2 eps^2)^{m+1} ).
+[[nodiscard]] bool lemma43_valid(double n, double q, double eps, unsigned m);
+
+/// Lemma 4.3: |E_z[nu_z(G)] - mu(G)|
+///   <= (q/sqrt(n) + (q/sqrt(n))^{1/(2m+2)}) 40 m^2 eps^2
+///      var(G)^{(2m+1)/(2m+2)}.
+[[nodiscard]] double lemma43_bound(double n, double q, double eps, unsigned m,
+                                   double var_g);
+
+/// Lemma 4.4 hypothesis:
+/// q <= min( sqrt(n)/((40m)^2 eps^2)^{m+1}, sqrt(n)/((40m)^2 eps^2) ).
+[[nodiscard]] bool lemma44_valid(double n, double q, double eps, unsigned m);
+
+/// Lemma 4.4 (with explicit constant C):
+///   E_z[|nu_z(G)-mu(G)|^2] <= 2 eps^2 q / n * var(G)
+///     + C (q/sqrt(n) + (q/sqrt(n))^{1/(m+1)}) m^2 eps^2
+///       var(G)^{2 - 1/(m+1)}.
+[[nodiscard]] double lemma44_bound(double n, double q, double eps, unsigned m,
+                                   double var_g, double big_c = 1.0);
+
+}  // namespace duti::bounds

@@ -1,0 +1,40 @@
+#include "core/claim31.hpp"
+
+#include <cmath>
+
+namespace duti {
+
+double nu_zq_pmf_direct(const SampleTupleCodec& codec, const NuZ& nu,
+                        std::uint64_t packed) {
+  require(codec.domain().ell() == nu.domain().ell(),
+          "nu_zq_pmf_direct: domain mismatch");
+  double p = 1.0;
+  for (unsigned j = 0; j < codec.q(); ++j) {
+    p *= nu.pmf(codec.element(packed, j));
+  }
+  return p;
+}
+
+double nu_zq_pmf_expansion(const SampleTupleCodec& codec, const NuZ& nu,
+                           std::uint64_t packed) {
+  require(codec.domain().ell() == nu.domain().ell(),
+          "nu_zq_pmf_expansion: domain mismatch");
+  const unsigned q = codec.q();
+  const double eps = nu.eps();
+  double total = 0.0;
+  for (std::uint64_t s_set = 0; s_set < (1ULL << q); ++s_set) {
+    // chi_S(s) = prod_{j in S} s_j, and the z-product over S.
+    double term = std::pow(eps, std::popcount(s_set));
+    for (unsigned j = 0; j < q; ++j) {
+      if ((s_set >> j) & 1ULL) {
+        term *= static_cast<double>(codec.s_of(packed, j));
+        term *= static_cast<double>(nu.z().sign(codec.x_of(packed, j)));
+      }
+    }
+    total += term;
+  }
+  const auto n = static_cast<double>(codec.domain().universe_size());
+  return total / std::pow(n, static_cast<double>(q));
+}
+
+}  // namespace duti

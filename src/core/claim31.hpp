@@ -1,0 +1,24 @@
+// Claim 3.1: the q-fold product of nu_z has the sparse character expansion
+//
+//   nu_z^q(x, s) = (1/n^q) sum_{S subseteq [q]} eps^{|S|} chi_S(s)
+//                                                 prod_{j in S} z(x_j).
+//
+// Both sides are computable; tests verify they agree exactly on every tuple.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sample_tuple.hpp"
+#include "dist/nu_z.hpp"
+
+namespace duti {
+
+/// Direct product: prod_j (1 + s_j z(x_j) eps) / n.
+[[nodiscard]] double nu_zq_pmf_direct(const SampleTupleCodec& codec,
+                                      const NuZ& nu, std::uint64_t packed);
+
+/// Character expansion of Claim 3.1, summed over all 2^q subsets S.
+[[nodiscard]] double nu_zq_pmf_expansion(const SampleTupleCodec& codec,
+                                         const NuZ& nu, std::uint64_t packed);
+
+}  // namespace duti

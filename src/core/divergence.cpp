@@ -1,0 +1,68 @@
+#include "core/divergence.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+double kl_bernoulli(double alpha, double beta) {
+  require(alpha >= 0.0 && alpha <= 1.0, "kl_bernoulli: alpha in [0,1]");
+  require(beta >= 0.0 && beta <= 1.0, "kl_bernoulli: beta in [0,1]");
+  const double inf = std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  if (alpha > 0.0) {
+    if (beta == 0.0) return inf;
+    acc += alpha * std::log2(alpha / beta);
+  }
+  if (alpha < 1.0) {
+    if (beta == 1.0) return inf;
+    acc += (1.0 - alpha) * std::log2((1.0 - alpha) / (1.0 - beta));
+  }
+  return acc;
+}
+
+double chi2_bernoulli_bound(double alpha, double beta) {
+  require(alpha >= 0.0 && alpha <= 1.0, "chi2_bernoulli_bound: alpha in [0,1]");
+  require(beta > 0.0 && beta < 1.0, "chi2_bernoulli_bound: beta in (0,1)");
+  const double d = alpha - beta;
+  return d * d / (beta * (1.0 - beta) * std::log(2.0));
+}
+
+double kl_pmf(const std::vector<double>& p, const std::vector<double>& q) {
+  require(p.size() == q.size(), "kl_pmf: size mismatch");
+  const double inf = std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) return inf;
+    acc += p[i] * std::log2(p[i] / q[i]);
+  }
+  return acc;
+}
+
+double required_total_divergence(double delta) {
+  require(delta > 0.0 && delta < 1.0, "required_total_divergence: delta in (0,1)");
+  return 0.1 * std::log2(1.0 / delta);
+}
+
+double per_player_divergence_cap(double n, double q, double eps) {
+  require(n >= 2.0 && q >= 1.0, "per_player_divergence_cap: bad n or q");
+  require(eps > 0.0 && eps <= 1.0, "per_player_divergence_cap: eps in (0,1]");
+  const double e2 = eps * eps;
+  return (20.0 * q * q * e2 * e2 / n + q * e2 / n) / std::log(2.0);
+}
+
+double theorem61_q_lower_bound(double n, double k, double eps, double delta) {
+  require(k >= 1.0, "theorem61_q_lower_bound: k >= 1");
+  const double target = required_total_divergence(delta) / k * std::log(2.0);
+  // Solve 20 q^2 eps^4 / n + q eps^2 / n = target for the positive root.
+  const double e2 = eps * eps;
+  const double a = 20.0 * e2 * e2 / n;
+  const double b = e2 / n;
+  const double disc = b * b + 4.0 * a * target;
+  return (-b + std::sqrt(disc)) / (2.0 * a);
+}
+
+}  // namespace duti

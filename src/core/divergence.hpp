@@ -1,0 +1,44 @@
+// The information-theoretic pipeline of Section 6: per-player KL divergence
+// between the bit sent under nu_z and under uniform, the chi-squared upper
+// bound (Fact 6.3), additivity over independent players (Fact 6.2), and
+// the success requirement (inequality (10)) that drives Theorem 6.1.
+//
+// All divergences here are in bits (log base 2), matching Fact 6.3's 1/ln 2.
+#pragma once
+
+#include <vector>
+
+namespace duti {
+
+/// KL divergence D(B(alpha) || B(beta)) between Bernoulli random variables,
+/// in bits. Returns +inf when beta in {0,1} disagrees with alpha.
+[[nodiscard]] double kl_bernoulli(double alpha, double beta);
+
+/// Fact 6.3 right-hand side: (alpha - beta)^2 / (beta (1-beta) ln 2).
+/// Upper-bounds kl_bernoulli(alpha, beta).
+[[nodiscard]] double chi2_bernoulli_bound(double alpha, double beta);
+
+/// KL divergence between two finite distributions given as pmf vectors
+/// (bits); used to verify additivity across independent players.
+[[nodiscard]] double kl_pmf(const std::vector<double>& p,
+                            const std::vector<double>& q);
+
+/// Inequality (10): to succeed with probability 1 - delta the total (over
+/// players) expected divergence must exceed (1/10) log2(1/delta). Returns
+/// that threshold.
+[[nodiscard]] double required_total_divergence(double delta);
+
+/// The Lemma 4.2-based per-player divergence cap used in the proof of
+/// Theorem 6.1 (inequality (12)):
+///   E_z[D] <= (20 q^2 eps^4 / n + q eps^2 / n) / ln 2.
+[[nodiscard]] double per_player_divergence_cap(double n, double q,
+                                               double eps);
+
+/// Solving (13) for q: the smallest q at which k players *could* reach the
+/// required divergence, i.e. the Theorem 6.1 lower bound with explicit
+/// constants. Returns the bound on q implied by
+///   k * cap(q) >= (1/10) log2(1/delta).
+[[nodiscard]] double theorem61_q_lower_bound(double n, double k, double eps,
+                                             double delta = 1.0 / 3.0);
+
+}  // namespace duti

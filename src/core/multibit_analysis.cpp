@@ -1,0 +1,114 @@
+#include "core/multibit_analysis.hpp"
+
+#include <cmath>
+
+#include "core/claim31.hpp"
+#include "core/divergence.hpp"
+#include "util/error.hpp"
+
+namespace duti {
+
+MultibitMessageAnalysis::MultibitMessageAnalysis(
+    SampleTupleCodec codec, unsigned r,
+    std::function<std::uint32_t(std::uint64_t)> message)
+    : codec_(codec), r_(r), message_(std::move(message)) {
+  require(r_ >= 1 && r_ <= 20, "MultibitMessageAnalysis: r in [1,20]");
+  require(static_cast<bool>(message_),
+          "MultibitMessageAnalysis: null message function");
+}
+
+const std::vector<double>& MultibitMessageAnalysis::uniform_pushforward()
+    const {
+  if (uniform_push_.empty()) {
+    uniform_push_.assign(num_symbols(), 0.0);
+    const double per_tuple =
+        1.0 / static_cast<double>(codec_.num_tuples());
+    for (std::uint64_t t = 0; t < codec_.num_tuples(); ++t) {
+      const std::uint32_t symbol = message_(t);
+      require(symbol < num_symbols(),
+              "MultibitMessageAnalysis: message symbol out of range");
+      uniform_push_[symbol] += per_tuple;
+    }
+  }
+  return uniform_push_;
+}
+
+std::vector<double> MultibitMessageAnalysis::nu_z_pushforward(
+    const NuZ& nu) const {
+  require(nu.domain().ell() == codec_.domain().ell(),
+          "nu_z_pushforward: domain mismatch");
+  std::vector<double> push(num_symbols(), 0.0);
+  for (std::uint64_t t = 0; t < codec_.num_tuples(); ++t) {
+    push[message_(t)] += nu_zq_pmf_direct(codec_, nu, t);
+  }
+  return push;
+}
+
+double MultibitMessageAnalysis::divergence_given_z(const NuZ& nu) const {
+  return kl_pmf(nu_z_pushforward(nu), uniform_pushforward());
+}
+
+double MultibitMessageAnalysis::expected_divergence_exact(double eps) const {
+  const unsigned ell = codec_.domain().ell();
+  require(ell <= 4, "expected_divergence_exact: ell <= 4");
+  const std::uint64_t side = codec_.domain().side_size();
+  const std::uint64_t num_z = 1ULL << side;
+  double acc = 0.0;
+  for (std::uint64_t zbits = 0; zbits < num_z; ++zbits) {
+    PerturbationVector z(ell);
+    for (std::uint64_t x = 0; x < side; ++x) {
+      z.set_sign(x, ((zbits >> x) & 1ULL) ? -1 : +1);
+    }
+    acc += divergence_given_z(NuZ(codec_.domain(), z, eps));
+  }
+  return acc / static_cast<double>(num_z);
+}
+
+double MultibitMessageAnalysis::expected_divergence_mc(double eps,
+                                                       std::size_t z_trials,
+                                                       Rng& rng) const {
+  require(z_trials >= 1, "expected_divergence_mc: need trials");
+  double acc = 0.0;
+  for (std::size_t t = 0; t < z_trials; ++t) {
+    const auto z = PerturbationVector::random(codec_.domain().ell(), rng);
+    acc += divergence_given_z(NuZ(codec_.domain(), z, eps));
+  }
+  return acc / static_cast<double>(z_trials);
+}
+
+double MultibitMessageAnalysis::full_tuple_divergence_exact(
+    const SampleTupleCodec& codec, double eps) {
+  const unsigned ell = codec.domain().ell();
+  require(ell <= 4, "full_tuple_divergence_exact: ell <= 4");
+  const std::uint64_t side = codec.domain().side_size();
+  const std::uint64_t num_z = 1ULL << side;
+  const double uniform_pmf =
+      1.0 / static_cast<double>(codec.num_tuples());
+  double acc = 0.0;
+  for (std::uint64_t zbits = 0; zbits < num_z; ++zbits) {
+    PerturbationVector z(ell);
+    for (std::uint64_t x = 0; x < side; ++x) {
+      z.set_sign(x, ((zbits >> x) & 1ULL) ? -1 : +1);
+    }
+    const NuZ nu(codec.domain(), z, eps);
+    double kl = 0.0;
+    for (std::uint64_t t = 0; t < codec.num_tuples(); ++t) {
+      const double p = nu_zq_pmf_direct(codec, nu, t);
+      if (p > 0.0) kl += p * std::log2(p / uniform_pmf);
+    }
+    acc += kl;
+  }
+  return acc / static_cast<double>(num_z);
+}
+
+std::function<std::uint32_t(std::uint64_t)> first_sample_prefix_message(
+    const SampleTupleCodec& codec, unsigned r) {
+  require(r <= codec.domain().ell() + 1,
+          "first_sample_prefix_message: r exceeds element width");
+  return [codec, r](std::uint64_t packed) {
+    return static_cast<std::uint32_t>(codec.element(packed, 0) &
+                                      ((1ULL << r) - 1));
+  };
+}
+
+}  // namespace duti

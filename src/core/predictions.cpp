@@ -1,0 +1,94 @@
+#include "core/predictions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti::predict {
+
+namespace {
+void check(double n, double eps) {
+  duti::require(n >= 2.0, "predict: n must be >= 2");
+  duti::require(eps > 0.0 && eps <= 1.0, "predict: eps in (0,1]");
+}
+}  // namespace
+
+double centralized_q(double n, double eps, double c) {
+  check(n, eps);
+  return c * std::sqrt(n) / (eps * eps);
+}
+
+double thm11_any_rule_q(double n, double k, double eps, double c) {
+  check(n, eps);
+  duti::require(k >= 1.0, "thm11_any_rule_q: k >= 1");
+  return c * std::min(std::sqrt(n / k), n / k) / (eps * eps);
+}
+
+double thm64_multibit_q(double n, double k, double eps, unsigned r,
+                        double c) {
+  check(n, eps);
+  duti::require(k >= 1.0, "thm64_multibit_q: k >= 1");
+  const double keff = k * std::ldexp(1.0, static_cast<int>(r));
+  return c * std::min(std::sqrt(n / keff), n / keff) / (eps * eps);
+}
+
+double thm12_and_rule_q(double n, double k, double eps, double c) {
+  check(n, eps);
+  duti::require(k >= 2.0, "thm12_and_rule_q: k >= 2 (log k must be positive)");
+  const double lg = std::log2(k);
+  return c * std::sqrt(n) / (lg * lg * eps * eps);
+}
+
+double thm13_threshold_q(double n, double k, double eps, double t, double c) {
+  check(n, eps);
+  duti::require(k >= 1.0 && t >= 1.0, "thm13_threshold_q: k, T >= 1");
+  const double lg = std::max(1.0, std::log2(k / eps));
+  return c * std::sqrt(n) / (t * lg * lg * eps * eps);
+}
+
+bool thm13_threshold_applies(double n, double k, double eps, double t,
+                             double c) {
+  check(n, eps);
+  if (k > std::sqrt(n)) return false;
+  const double lg = std::max(1.0, std::log2(k / eps));
+  return t < c / (eps * eps * lg * lg);
+}
+
+double thm14_learning_k(double n, double q, double c) {
+  duti::require(n >= 2.0 && q >= 1.0, "thm14_learning_k: bad n or q");
+  return c * n * n / (q * q);
+}
+
+double fmo_and_tester_q(double n, double k, double eps, double c,
+                        double exponent_c) {
+  check(n, eps);
+  duti::require(k >= 1.0, "fmo_and_tester_q: k >= 1");
+  return c * std::sqrt(n) /
+         (std::pow(k, exponent_c * eps * eps) * eps * eps);
+}
+
+double fmo_threshold_tester_q(double n, double k, double eps, double c) {
+  check(n, eps);
+  duti::require(k >= 1.0, "fmo_threshold_tester_q: k >= 1");
+  return c * std::sqrt(n / k) / (eps * eps);
+}
+
+double asymmetric_tau(double n, double eps, const std::vector<double>& rates,
+                      double c) {
+  check(n, eps);
+  duti::require(!rates.empty(), "asymmetric_tau: empty rate vector");
+  double norm2 = 0.0;
+  for (double t : rates) {
+    duti::require(t > 0.0, "asymmetric_tau: rates must be positive");
+    norm2 += t * t;
+  }
+  return c * std::sqrt(n) / (eps * eps * std::sqrt(norm2));
+}
+
+double act_single_sample_k(double n, double eps, unsigned r, double c) {
+  check(n, eps);
+  return c * n / (std::ldexp(1.0, static_cast<int>(r) / 2) * eps * eps);
+}
+
+}  // namespace duti::predict

@@ -1,0 +1,66 @@
+// Closed-form predictors for every theorem in the paper, used by the
+// benches to draw the "paper says" reference curve next to the measured
+// one, and by examples/lowerbound_explorer to answer "how many samples does
+// the paper say each node needs?" for concrete (n, k, eps, T, r).
+//
+// Asymptotic constants are not specified by the paper; each predictor takes
+// an explicit constant multiplier `c` (default 1) so the benches can fit it
+// once per experiment and then compare *shapes*.
+#pragma once
+
+#include <vector>
+
+namespace duti::predict {
+
+/// Centralized uniformity testing [Paninski'08]: q = Theta(sqrt(n)/eps^2).
+[[nodiscard]] double centralized_q(double n, double eps, double c = 1.0);
+
+/// Theorem 1.1 / 6.1 — any decision rule, 1-bit messages:
+/// q = Omega( min(sqrt(n/k), n/k) / eps^2 ).
+[[nodiscard]] double thm11_any_rule_q(double n, double k, double eps,
+                                      double c = 1.0);
+
+/// Theorem 6.4 — r-bit messages:
+/// q = Omega( min(sqrt(n/(2^r k)), n/(2^r k)) / eps^2 ).
+[[nodiscard]] double thm64_multibit_q(double n, double k, double eps,
+                                      unsigned r, double c = 1.0);
+
+/// Theorem 1.2 / 6.5 — AND rule (valid for k <= 2^{c2/eps}):
+/// q = Omega( sqrt(n) / (log^2(k) eps^2) ).
+[[nodiscard]] double thm12_and_rule_q(double n, double k, double eps,
+                                      double c = 1.0);
+
+/// Theorem 1.3 — T-threshold rule (valid for k <= sqrt(n) and
+/// T < c/(eps^2 log^2(k/eps))):
+/// q = Omega( sqrt(n) / (T log^2(k/eps) eps^2) ).
+[[nodiscard]] double thm13_threshold_q(double n, double k, double eps,
+                                       double t, double c = 1.0);
+[[nodiscard]] bool thm13_threshold_applies(double n, double k, double eps,
+                                           double t, double c = 1.0);
+
+/// Theorem 1.4 — learning to l1 error delta with q queries per node:
+/// k = Omega(n^2 / q^2).
+[[nodiscard]] double thm14_learning_k(double n, double q, double c = 1.0);
+
+/// Upper bounds from Fischer-Meir-Oshman [7], for the "who wins" curves:
+/// AND-rule tester: q = O( sqrt(n) / (k^{Theta(eps^2)} eps^2) ).
+[[nodiscard]] double fmo_and_tester_q(double n, double k, double eps,
+                                      double c = 1.0,
+                                      double exponent_c = 1.0);
+
+/// Threshold tester [7]: q = O( sqrt(n/k) / eps^2 ).
+[[nodiscard]] double fmo_threshold_tester_q(double n, double k, double eps,
+                                            double c = 1.0);
+
+/// Section 6.2 asymmetric-rate model: tau = Theta( sqrt(n) /
+/// (eps^2 ||rates||_2) ).
+[[nodiscard]] double asymmetric_tau(double n, double eps,
+                                    const std::vector<double>& rates,
+                                    double c = 1.0);
+
+/// Single-sample regime [1]: k = Theta( n / (2^{r/2} eps^2) ) nodes for
+/// uniformity testing with r-bit messages.
+[[nodiscard]] double act_single_sample_k(double n, double eps, unsigned r,
+                                         double c = 1.0);
+
+}  // namespace duti::predict

@@ -1,0 +1,93 @@
+// Codec between a tuple of q universe elements (each an (ell+1)-bit value
+// of the CubeDomain encoding) and a single index into the domain of the
+// player's message function G : {-1,1}^{(ell+1)q} -> {0,1}.
+//
+// Layout: sample j occupies bits [j*(ell+1), (j+1)*(ell+1)) of the packed
+// index; within a sample, the low ell bits are x_j and the top bit is s_j.
+// This matches the paper's "G(x, s)" notation with coordinates grouped per
+// sample, and makes the restriction G_x(s) a restriction of the s-bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/cube_domain.hpp"
+#include "util/error.hpp"
+
+namespace duti {
+
+class SampleTupleCodec {
+ public:
+  SampleTupleCodec(CubeDomain domain, unsigned q)
+      : domain_(domain), q_(q), bits_per_(domain.ell() + 1) {
+    require(q >= 1, "SampleTupleCodec: q must be >= 1");
+    require(static_cast<std::uint64_t>(q) * bits_per_ <= 26,
+            "SampleTupleCodec: (ell+1)*q must be <= 26 for dense functions");
+  }
+
+  [[nodiscard]] const CubeDomain& domain() const noexcept { return domain_; }
+  [[nodiscard]] unsigned q() const noexcept { return q_; }
+  [[nodiscard]] unsigned total_bits() const noexcept { return q_ * bits_per_; }
+  [[nodiscard]] std::uint64_t num_tuples() const noexcept {
+    return 1ULL << total_bits();
+  }
+
+  /// Pack q universe elements into one index.
+  [[nodiscard]] std::uint64_t pack(
+      std::span<const std::uint64_t> elements) const {
+    require(elements.size() == q_, "pack: wrong tuple length");
+    std::uint64_t idx = 0;
+    for (unsigned j = 0; j < q_; ++j) {
+      require(elements[j] < domain_.universe_size(),
+              "pack: element out of range");
+      idx |= elements[j] << (j * bits_per_);
+    }
+    return idx;
+  }
+
+  /// Element j of a packed tuple.
+  [[nodiscard]] std::uint64_t element(std::uint64_t packed,
+                                      unsigned j) const noexcept {
+    return (packed >> (j * bits_per_)) & ((1ULL << bits_per_) - 1);
+  }
+
+  /// The cube point x_j of sample j.
+  [[nodiscard]] std::uint64_t x_of(std::uint64_t packed,
+                                   unsigned j) const noexcept {
+    return domain_.x_of(element(packed, j));
+  }
+
+  /// The side s_j in {-1,+1} of sample j.
+  [[nodiscard]] int s_of(std::uint64_t packed, unsigned j) const noexcept {
+    return domain_.s_of(element(packed, j));
+  }
+
+  /// Mask (within the packed index) of all s-bits — one per sample.
+  [[nodiscard]] std::uint64_t s_bits_mask() const noexcept {
+    std::uint64_t mask = 0;
+    for (unsigned j = 0; j < q_; ++j) {
+      mask |= 1ULL << (j * bits_per_ + domain_.ell());
+    }
+    return mask;
+  }
+
+  /// Packed index with the same x-parts as `packed` and all s-bits cleared.
+  [[nodiscard]] std::uint64_t x_part(std::uint64_t packed) const noexcept {
+    return packed & ~s_bits_mask();
+  }
+
+  /// Unpack the x-parts into a vector of cube points (for evenly-covered
+  /// checks).
+  void unpack_x(std::uint64_t packed, std::vector<std::uint64_t>& out) const {
+    out.resize(q_);
+    for (unsigned j = 0; j < q_; ++j) out[j] = x_of(packed, j);
+  }
+
+ private:
+  CubeDomain domain_;
+  unsigned q_;
+  unsigned bits_per_;
+};
+
+}  // namespace duti

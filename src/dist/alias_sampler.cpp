@@ -1,0 +1,58 @@
+#include "dist/alias_sampler.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  require(!weights.empty(), "AliasSampler: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "AliasSampler: negative weight");
+    total += w;
+  }
+  require(total > 0.0, "AliasSampler: all weights are zero");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities: mean 1. Partition into "small" (< 1) and "large".
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total;
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::uint64_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  // Vose pairing: each small bucket is topped up by one large bucket.
+  while (!small.empty() && !large.empty()) {
+    const std::uint64_t s = small.back();
+    small.pop_back();
+    const std::uint64_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining buckets are exactly 1 up to float round-off.
+  for (std::uint64_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (std::uint64_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+}  // namespace duti

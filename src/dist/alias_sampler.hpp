@@ -1,0 +1,38 @@
+// Walker/Vose alias method: O(n) preprocessing, O(1) sampling from an
+// arbitrary discrete distribution. Sampling dominates the cost of every
+// experiment in this library, so constant-time draws matter (see DESIGN.md
+// decision D2; the ablation bench compares against inverse-CDF sampling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace duti {
+
+class AliasSampler {
+ public:
+  /// Build from unnormalized non-negative weights. Throws InvalidArgument on
+  /// empty input, negative weights, or an all-zero weight vector.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draw one index in [0, size()) with probability proportional to weight.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const noexcept {
+    const std::uint64_t i = rng.next_below(prob_.size());
+    return rng.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// The acceptance probability table (exposed for tests).
+  [[nodiscard]] const std::vector<double>& prob_table() const noexcept {
+    return prob_;
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint64_t> alias_;
+};
+
+}  // namespace duti

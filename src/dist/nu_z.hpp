@@ -1,0 +1,88 @@
+// The hard distribution family of Section 3 [Paninski'08 construction,
+// lifted onto the Boolean cube]: for a perturbation vector
+// z : {-1,1}^ell -> {-1,1},
+//
+//     nu_z(x, s) = (1 + s * z(x) * eps) / n,     n = 2^{ell+1}.
+//
+// Every nu_z is exactly eps-far from uniform in l1, and the mixture over a
+// uniformly random z averages to the uniform distribution exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/cube_domain.hpp"
+#include "dist/discrete_distribution.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+/// A perturbation vector z: one sign per vertex of {-1,1}^ell.
+class PerturbationVector {
+ public:
+  /// All +1 signs.
+  explicit PerturbationVector(unsigned ell);
+
+  /// Uniformly random signs.
+  static PerturbationVector random(unsigned ell, Rng& rng);
+
+  /// From explicit signs (size must be 2^ell, entries +-1).
+  static PerturbationVector from_signs(unsigned ell,
+                                       const std::vector<int>& signs);
+
+  [[nodiscard]] unsigned ell() const noexcept { return ell_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return 1ULL << ell_; }
+
+  /// z(x) in {-1, +1} for a cube point x in [0, 2^ell).
+  [[nodiscard]] int sign(std::uint64_t x) const {
+    return ((bits_[x >> 6] >> (x & 63U)) & 1ULL) ? -1 : +1;
+  }
+
+  void set_sign(std::uint64_t x, int s);
+
+ private:
+  unsigned ell_;
+  std::vector<std::uint64_t> bits_;  // bit=1 encodes sign -1
+};
+
+/// The distribution nu_z, sampled directly (without materializing the pmf):
+/// draw x uniformly, then s = +1 with probability (1 + z(x) eps)/2.
+class NuZ {
+ public:
+  NuZ(CubeDomain domain, PerturbationVector z, double eps);
+
+  [[nodiscard]] const CubeDomain& domain() const noexcept { return domain_; }
+  [[nodiscard]] const PerturbationVector& z() const noexcept { return z_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+
+  /// pmf of element (x,s) under nu_z.
+  [[nodiscard]] double pmf(std::uint64_t element) const noexcept;
+
+  /// Draw one element.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const noexcept;
+
+  /// Draw `count` iid elements into `out`.
+  void sample_many(Rng& rng, std::size_t count,
+                   std::vector<std::uint64_t>& out) const;
+
+  /// Materialize as a DiscreteDistribution (throws CapacityError when the
+  /// universe exceeds max_cells).
+  [[nodiscard]] DiscreteDistribution to_distribution(
+      std::size_t max_cells = (1ULL << 26)) const;
+
+  /// Exact l1 distance from uniform; equals eps by construction.
+  [[nodiscard]] double l1_from_uniform() const noexcept { return eps_; }
+
+ private:
+  CubeDomain domain_;
+  PerturbationVector z_;
+  double eps_;
+};
+
+/// Convenience: the mixture E_z[nu_z] materialized exactly (it is uniform;
+/// provided so tests can verify the identity E_z[nu_z] = U_n by enumeration
+/// for small ell).
+[[nodiscard]] DiscreteDistribution exact_mixture_over_z(unsigned ell,
+                                                        double eps);
+
+}  // namespace duti

@@ -1,0 +1,170 @@
+#include "fourier/evenly_covered.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace duti {
+
+bool is_evenly_covered(std::span<const std::uint64_t> x,
+                       std::uint64_t s_mask) {
+  // XOR-style parity tracking with a small scratch vector: collect values at
+  // the masked positions, sort, and check run lengths are even.
+  std::uint64_t scratch[64];
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if ((s_mask >> j) & 1ULL) {
+      require(count < 64, "is_evenly_covered: at most 64 positions");
+      scratch[count++] = x[j];
+    }
+  }
+  std::sort(scratch, scratch + count);
+  for (std::size_t i = 0; i < count;) {
+    std::size_t run = 1;
+    while (i + run < count && scratch[i + run] == scratch[i]) ++run;
+    if (run % 2 != 0) return false;
+    i += run;
+  }
+  return true;
+}
+
+double count_even_sequences(std::uint64_t alphabet, unsigned m) {
+  require(alphabet >= 1, "count_even_sequences: alphabet must be non-empty");
+  if (m % 2 != 0) return 0.0;
+  // DP over sequence positions; state = number of letters seen an odd
+  // number of times so far. From state j, appending one of the j "odd"
+  // letters moves to j-1; appending one of the (alphabet - j) "even"
+  // letters moves to j+1. Sequences are counted exactly because each
+  // transition chooses a concrete letter.
+  std::vector<double> ways(m + 1, 0.0);
+  ways[0] = 1.0;
+  const auto a = static_cast<double>(alphabet);
+  for (unsigned pos = 0; pos < m; ++pos) {
+    std::vector<double> next(m + 1, 0.0);
+    for (unsigned j = 0; j <= std::min(pos, m); ++j) {
+      if (ways[j] == 0.0) continue;
+      if (j >= 1) next[j - 1] += ways[j] * static_cast<double>(j);
+      if (j + 1 <= m && static_cast<double>(j) < a) {
+        next[j + 1] += ways[j] * (a - static_cast<double>(j));
+      }
+    }
+    ways = std::move(next);
+  }
+  return ways[0];
+}
+
+double count_x_s(unsigned ell, unsigned q, unsigned s_size) {
+  require(s_size <= q, "count_x_s: |S| cannot exceed q");
+  const double side = std::ldexp(1.0, static_cast<int>(ell));  // 2^ell
+  const double even = count_even_sequences(1ULL << ell, s_size);
+  return even * std::pow(side, static_cast<double>(q - s_size));
+}
+
+double count_x_s_brute(unsigned ell, unsigned q, std::uint64_t s_mask) {
+  require(q >= 1 && q <= 63, "count_x_s_brute: q in [1,63]");
+  require(s_mask < (1ULL << q), "count_x_s_brute: mask out of range");
+  const std::uint64_t side = 1ULL << ell;
+  double total_tuples = std::pow(static_cast<double>(side),
+                                 static_cast<double>(q));
+  if (total_tuples > static_cast<double>(1ULL << 26)) {
+    throw CapacityError("count_x_s_brute: enumeration too large");
+  }
+  const auto total = static_cast<std::uint64_t>(total_tuples);
+  std::vector<std::uint64_t> x(q);
+  double count = 0.0;
+  for (std::uint64_t idx = 0; idx < total; ++idx) {
+    std::uint64_t rest = idx;
+    for (unsigned j = 0; j < q; ++j) {
+      x[j] = rest % side;
+      rest /= side;
+    }
+    if (is_evenly_covered(x, s_mask)) count += 1.0;
+  }
+  return count;
+}
+
+double prop52_bound(unsigned ell, unsigned q, unsigned s_size) {
+  require(s_size <= q, "prop52_bound: |S| cannot exceed q");
+  if (s_size % 2 != 0) return 0.0;
+  const double side = std::ldexp(1.0, static_cast<int>(ell));  // n/2
+  const double df = std::exp(log_double_factorial(static_cast<int>(s_size) - 1));
+  return df * std::pow(side, static_cast<double>(q) -
+                                 static_cast<double>(s_size) / 2.0);
+}
+
+std::uint64_t lowest_mask(unsigned bits) {
+  return bits == 0 ? 0 : (bits >= 64 ? ~0ULL : (1ULL << bits) - 1);
+}
+
+std::uint64_t next_same_popcount(std::uint64_t mask) {
+  if (mask == 0) return 0;
+  const std::uint64_t c = mask & (~mask + 1);  // lowest set bit
+  const std::uint64_t r = mask + c;
+  if (r == 0) return 0;  // overflowed past the top
+  return (((r ^ mask) >> 2) / c) | r;
+}
+
+std::uint64_t a_r(std::span<const std::uint64_t> x, unsigned r) {
+  const auto q = static_cast<unsigned>(x.size());
+  require(q <= 63, "a_r: at most 63 samples");
+  if (2 * r > q) return 0;
+  if (r == 0) return 1;  // only S = empty set
+  std::uint64_t count = 0;
+  const std::uint64_t limit = 1ULL << q;
+  for (std::uint64_t s = lowest_mask(2 * r); s != 0 && s < limit;
+       s = next_same_popcount(s)) {
+    if (is_evenly_covered(x, s)) ++count;
+  }
+  return count;
+}
+
+double a_r_moment_exact(unsigned ell, unsigned q, unsigned r, unsigned m) {
+  require(m >= 1, "a_r_moment_exact: m must be >= 1");
+  const std::uint64_t side = 1ULL << ell;
+  const double total_tuples = std::pow(static_cast<double>(side),
+                                       static_cast<double>(q));
+  if (total_tuples > static_cast<double>(1ULL << 26)) {
+    throw CapacityError("a_r_moment_exact: enumeration too large");
+  }
+  const auto total = static_cast<std::uint64_t>(total_tuples);
+  std::vector<std::uint64_t> x(q);
+  double acc = 0.0;
+  for (std::uint64_t idx = 0; idx < total; ++idx) {
+    std::uint64_t rest = idx;
+    for (unsigned j = 0; j < q; ++j) {
+      x[j] = rest % side;
+      rest /= side;
+    }
+    acc += dpow_int(static_cast<double>(a_r(x, r)), m);
+  }
+  return acc / total_tuples;
+}
+
+double a_r_moment_mc(unsigned ell, unsigned q, unsigned r, unsigned m,
+                     std::size_t trials, Rng& rng) {
+  require(trials >= 1, "a_r_moment_mc: need at least one trial");
+  const std::uint64_t side = 1ULL << ell;
+  std::vector<std::uint64_t> x(q);
+  double acc = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (auto& xi : x) xi = rng.next_below(side);
+    acc += dpow_int(static_cast<double>(a_r(x, r)), m);
+  }
+  return acc / static_cast<double>(trials);
+}
+
+double lemma55_log_bound(unsigned ell, unsigned q, unsigned r, unsigned m) {
+  require(m >= 1 && r >= 1, "lemma55_log_bound: m, r must be >= 1");
+  const double half_n = std::ldexp(1.0, static_cast<int>(ell));  // n/2
+  const double ratio = static_cast<double>(q) / std::sqrt(half_n);
+  const double log_4m = std::log(4.0 * static_cast<double>(m));
+  const double mr2 = 2.0 * static_cast<double>(m) * static_cast<double>(r);
+  if (ratio >= 1.0) {
+    return mr2 * log_4m + mr2 * std::log(ratio);
+  }
+  return mr2 * log_4m + 2.0 * static_cast<double>(r) * std::log(ratio);
+}
+
+}  // namespace duti

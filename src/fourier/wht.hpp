@@ -1,0 +1,20 @@
+// In-place fast Walsh-Hadamard transform.
+//
+// With the encoding of util/bits.hpp (bit=1 means coordinate -1), the
+// unnormalized transform computes  F[S] = sum_x f[x] * chi_S(x)  for every
+// character mask S, in O(N log N) where N = 2^m. Fourier coefficients in
+// the expectation inner product of the paper are F[S] / N.
+#pragma once
+
+#include <span>
+
+namespace duti {
+
+/// Unnormalized WHT in place; `data.size()` must be a power of two.
+void wht_inplace(std::span<double> data);
+
+/// Apply the transform and divide by N, yielding Fourier coefficients
+/// f_hat(S) = E_x[f(x) chi_S(x)].
+void wht_normalized(std::span<double> data);
+
+}  // namespace duti

@@ -1,0 +1,72 @@
+#include "sim/decision_rule.hpp"
+
+#include "util/error.hpp"
+
+namespace duti {
+
+namespace {
+std::uint64_t count_rejects(std::span<const std::uint8_t> votes) {
+  std::uint64_t rejects = 0;
+  for (std::uint8_t v : votes) {
+    if (v == 0) ++rejects;
+  }
+  return rejects;
+}
+}  // namespace
+
+DecisionRule DecisionRule::and_rule() {
+  return DecisionRule("AND", [](std::span<const std::uint8_t> votes) {
+    for (std::uint8_t v : votes) {
+      if (v == 0) return false;
+    }
+    return true;
+  });
+}
+
+DecisionRule DecisionRule::or_rule() {
+  return DecisionRule("OR", [](std::span<const std::uint8_t> votes) {
+    for (std::uint8_t v : votes) {
+      if (v != 0) return true;
+    }
+    return false;
+  });
+}
+
+DecisionRule DecisionRule::threshold(std::uint64_t t) {
+  require(t >= 1, "DecisionRule::threshold: T must be >= 1");
+  return DecisionRule("threshold-" + std::to_string(t),
+                      [t](std::span<const std::uint8_t> votes) {
+                        return count_rejects(votes) < t;
+                      });
+}
+
+DecisionRule DecisionRule::majority() {
+  return DecisionRule("majority", [](std::span<const std::uint8_t> votes) {
+    return 2 * count_rejects(votes) <= votes.size();
+  });
+}
+
+DecisionRule DecisionRule::parity() {
+  return DecisionRule("parity", [](std::span<const std::uint8_t> votes) {
+    return (count_rejects(votes) % 2) == 0;
+  });
+}
+
+DecisionRule DecisionRule::symmetric(
+    std::string name,
+    std::function<bool(std::uint64_t, std::uint64_t)> accept_fn) {
+  require(static_cast<bool>(accept_fn),
+          "DecisionRule::symmetric: empty function");
+  return DecisionRule(
+      std::move(name),
+      [accept_fn = std::move(accept_fn)](std::span<const std::uint8_t> votes) {
+        return accept_fn(count_rejects(votes), votes.size());
+      });
+}
+
+DecisionRule DecisionRule::custom(std::string name, Fn fn) {
+  require(static_cast<bool>(fn), "DecisionRule::custom: empty function");
+  return DecisionRule(std::move(name), std::move(fn));
+}
+
+}  // namespace duti

@@ -1,0 +1,65 @@
+// Referee decision rules f : {0,1}^k -> {0,1} (Section 2). The vote
+// convention throughout: a player's bit 1 means "accept / looks uniform",
+// 0 means "reject / raise alarm"; the referee's output 1 means the network
+// accepts.
+//
+//   * AND rule:      accept iff every player accepts (the local-decision
+//                    rule of Theorem 1.2).
+//   * T-threshold:   reject iff at least T players reject (Theorem 1.3;
+//                    f(x) = 1 exactly when sum x_i >= k - T + 1).
+//   * Arbitrary:     any callback (Theorem 1.1 allows all of these).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace duti {
+
+class DecisionRule {
+ public:
+  using Fn = std::function<bool(std::span<const std::uint8_t>)>;
+
+  /// Accept iff all players accept; reject if >= 1 rejects.
+  [[nodiscard]] static DecisionRule and_rule();
+
+  /// Accept iff at least one player accepts.
+  [[nodiscard]] static DecisionRule or_rule();
+
+  /// Reject iff at least `t` players reject (t >= 1). t = 1 is the AND rule.
+  [[nodiscard]] static DecisionRule threshold(std::uint64_t t);
+
+  /// Reject iff a strict majority rejects.
+  [[nodiscard]] static DecisionRule majority();
+
+  /// Accept iff the number of rejecting players is even (a deliberately
+  /// "global" rule, used in tests of arbitrary-rule support).
+  [[nodiscard]] static DecisionRule parity();
+
+  /// Symmetric (anonymous) rule: the decision depends only on the NUMBER
+  /// of rejecting players. Every rule in the paper is of this form; [7]'s
+  /// anonymity lower bound concerns exactly this class.
+  [[nodiscard]] static DecisionRule symmetric(
+      std::string name, std::function<bool(std::uint64_t rejects,
+                                           std::uint64_t k)> accept_fn);
+
+  /// Arbitrary referee function.
+  [[nodiscard]] static DecisionRule custom(std::string name, Fn fn);
+
+  /// Apply to the vector of player bits.
+  [[nodiscard]] bool decide(std::span<const std::uint8_t> votes) const {
+    return fn_(votes);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  DecisionRule(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace duti

@@ -1,0 +1,130 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace duti {
+
+void RoundContext::send(NodeId to, std::vector<std::uint64_t> payload,
+                        std::uint64_t bit_size) {
+  NetMessage m;
+  m.from = id_;
+  m.to = to;
+  m.payload = std::move(payload);
+  m.bit_size = bit_size;
+  outbox_.push_back(std::move(m));
+}
+
+Network::Network(std::uint32_t num_nodes)
+    : adjacency_(num_nodes, std::vector<std::uint8_t>(num_nodes, 0)),
+      behaviors_(num_nodes) {
+  require(num_nodes >= 1, "Network: need at least one node");
+}
+
+void Network::add_edge(NodeId from, NodeId to) {
+  require(from < num_nodes() && to < num_nodes(),
+          "Network::add_edge: node id out of range");
+  require(from != to, "Network::add_edge: no self loops");
+  adjacency_[from][to] = 1;
+}
+
+void Network::add_star(NodeId center) {
+  require(center < num_nodes(), "Network::add_star: center out of range");
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (v == center) continue;
+    add_edge(v, center);
+    add_edge(center, v);
+  }
+}
+
+void Network::add_complete() {
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (u != v) adjacency_[u][v] = 1;
+    }
+  }
+}
+
+bool Network::has_edge(NodeId from, NodeId to) const {
+  require(from < num_nodes() && to < num_nodes(),
+          "Network::has_edge: node id out of range");
+  return adjacency_[from][to] != 0;
+}
+
+void Network::set_behavior(NodeId node, NodeBehavior behavior) {
+  require(node < num_nodes(), "Network::set_behavior: node id out of range");
+  require(static_cast<bool>(behavior), "Network::set_behavior: empty behavior");
+  behaviors_[node] = std::move(behavior);
+}
+
+void Network::set_link_fault(NodeId from, NodeId to, LinkFault fault) {
+  require(has_edge(from, to), "Network::set_link_fault: no such edge");
+  require(fault.drop_prob >= 0.0 && fault.drop_prob <= 1.0 &&
+              fault.corrupt_prob >= 0.0 && fault.corrupt_prob <= 1.0,
+          "Network::set_link_fault: probabilities in [0,1]");
+  link_faults_[{from, to}] = fault;
+}
+
+void Network::set_default_fault(LinkFault fault) {
+  require(fault.drop_prob >= 0.0 && fault.drop_prob <= 1.0 &&
+              fault.corrupt_prob >= 0.0 && fault.corrupt_prob <= 1.0,
+          "Network::set_default_fault: probabilities in [0,1]");
+  default_fault_ = fault;
+}
+
+const LinkFault& Network::fault_of(NodeId from, NodeId to) const {
+  const auto it = link_faults_.find({from, to});
+  return it != link_faults_.end() ? it->second : default_fault_;
+}
+
+NetworkStats Network::run(Rng& rng, unsigned max_rounds) {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (!behaviors_[v]) {
+      throw Error("Network::run: node " + std::to_string(v) +
+                  " has no behavior");
+    }
+  }
+  NetworkStats stats;
+  std::vector<std::vector<NetMessage>> inboxes(num_nodes());
+  std::vector<std::uint8_t> halted(num_nodes(), 0);
+
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    if (std::all_of(halted.begin(), halted.end(),
+                    [](std::uint8_t h) { return h != 0; })) {
+      break;
+    }
+    std::vector<std::vector<NetMessage>> next_inboxes(num_nodes());
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (halted[v]) continue;
+      Rng node_rng = make_rng(rng(), v, round);
+      RoundContext ctx(v, round, std::move(inboxes[v]), node_rng);
+      behaviors_[v](ctx);
+      if (ctx.halted()) halted[v] = 1;
+      for (auto& m : ctx.take_outbox()) {
+        require(has_edge(v, m.to),
+                "Network::run: node " + std::to_string(v) +
+                    " sent along a non-edge to " + std::to_string(m.to));
+        ++stats.messages_sent;
+        stats.bits_sent += m.bit_size;
+        const LinkFault& fault = fault_of(v, m.to);
+        if (!fault.is_clean()) {
+          Rng fault_rng = make_rng(rng(), 0xFA17ULL, v, m.to, round);
+          if (fault_rng.next_bernoulli(fault.drop_prob)) {
+            ++stats.messages_dropped;
+            continue;
+          }
+          if (!m.payload.empty() &&
+              fault_rng.next_bernoulli(fault.corrupt_prob)) {
+            m.payload[0] ^= 1ULL;
+            ++stats.messages_corrupted;
+          }
+        }
+        next_inboxes[m.to].push_back(std::move(m));
+      }
+    }
+    inboxes = std::move(next_inboxes);
+    ++stats.rounds_executed;
+  }
+  return stats;
+}
+
+}  // namespace duti

@@ -1,0 +1,94 @@
+// A uniform interface over "things players can draw samples from": a
+// materialized DiscreteDistribution, the structured NuZ family (sampled
+// without materializing its pmf), or the exact uniform distribution on a
+// large domain. The protocol runner only needs sample() and domain_size().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dist/discrete_distribution.hpp"
+#include "dist/nu_z.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Draw one element of {0, ..., domain_size()-1}.
+  [[nodiscard]] virtual std::uint64_t sample(Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::uint64_t domain_size() const = 0;
+
+  /// l1 distance from the uniform distribution (exact where known).
+  [[nodiscard]] virtual double l1_from_uniform() const = 0;
+
+  /// Fill `out` with `count` iid samples.
+  void sample_many(Rng& rng, std::size_t count,
+                   std::vector<std::uint64_t>& out) const {
+    out.resize(count);
+    for (auto& s : out) s = sample(rng);
+  }
+};
+
+/// Exact uniform on {0,...,n-1}; O(1) memory for any n.
+class UniformSource final : public SampleSource {
+ public:
+  explicit UniformSource(std::uint64_t n) : n_(n) {
+    require(n >= 1, "UniformSource: n must be positive");
+  }
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
+    return rng.next_below(n_);
+  }
+  [[nodiscard]] std::uint64_t domain_size() const override { return n_; }
+  [[nodiscard]] double l1_from_uniform() const override { return 0.0; }
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Wraps a DiscreteDistribution (alias-method sampling).
+class DistributionSource final : public SampleSource {
+ public:
+  explicit DistributionSource(DiscreteDistribution dist)
+      : dist_(std::move(dist)) {}
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
+    return dist_.sample(rng);
+  }
+  [[nodiscard]] std::uint64_t domain_size() const override {
+    return dist_.domain_size();
+  }
+  [[nodiscard]] double l1_from_uniform() const override {
+    return dist_.l1_from_uniform();
+  }
+  [[nodiscard]] const DiscreteDistribution& distribution() const noexcept {
+    return dist_;
+  }
+
+ private:
+  DiscreteDistribution dist_;
+};
+
+/// Wraps the structured hard distribution nu_z (Section 3), sampled in O(1)
+/// per draw regardless of the universe size.
+class NuZSource final : public SampleSource {
+ public:
+  explicit NuZSource(NuZ nu) : nu_(std::move(nu)) {}
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
+    return nu_.sample(rng);
+  }
+  [[nodiscard]] std::uint64_t domain_size() const override {
+    return nu_.domain().universe_size();
+  }
+  [[nodiscard]] double l1_from_uniform() const override {
+    return nu_.l1_from_uniform();
+  }
+  [[nodiscard]] const NuZ& nu() const noexcept { return nu_; }
+
+ private:
+  NuZ nu_;
+};
+
+}  // namespace duti

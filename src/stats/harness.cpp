@@ -1,0 +1,103 @@
+#include "stats/harness.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace duti {
+
+ProbeResult probe_success(const TesterRun& tester,
+                          const SourceFactory& uniform_source,
+                          const SourceFactory& far_source, std::size_t trials,
+                          std::uint64_t seed) {
+  require(static_cast<bool>(tester), "probe_success: null tester");
+  require(trials >= 1, "probe_success: need at least one trial");
+  SuccessCounter uniform_accepts, far_rejects;
+  for (std::size_t t = 0; t < trials; ++t) {
+    {
+      Rng rng = make_rng(seed, 0xF00DULL, t);
+      const auto source = uniform_source(rng);
+      Rng run_rng = make_rng(seed, 0xBEEFULL, t);
+      uniform_accepts.record(tester(*source, run_rng));
+    }
+    {
+      Rng rng = make_rng(seed, 0xFA5ULL, t);
+      const auto source = far_source(rng);
+      Rng run_rng = make_rng(seed, 0xCAFEULL, t);
+      far_rejects.record(!tester(*source, run_rng));
+    }
+  }
+  ProbeResult out;
+  out.trials = trials;
+  out.uniform_accept_rate = uniform_accepts.rate();
+  out.far_reject_rate = far_rejects.rate();
+  out.uniform_ci = uniform_accepts.wilson();
+  out.far_ci = far_rejects.wilson();
+  return out;
+}
+
+MinSearchResult find_min_param(const ProbeFn& probe,
+                               const MinSearchConfig& cfg) {
+  require(static_cast<bool>(probe), "find_min_param: null probe");
+  require(cfg.lo >= 1 && cfg.lo <= cfg.hi, "find_min_param: bad range");
+  MinSearchResult result;
+
+  auto run_probe = [&](std::uint64_t value) {
+    ProbeResult r = probe(value);
+    result.probes.emplace_back(value, r);
+    return r.passes(cfg.target);
+  };
+
+  // Exponential bracketing: find the first power-of-two multiple of lo
+  // that passes.
+  std::uint64_t hi = cfg.lo;
+  bool hi_passes = run_probe(hi);
+  while (!hi_passes) {
+    if (hi >= cfg.hi) {
+      result.found = false;
+      return result;
+    }
+    hi = std::min(cfg.hi, hi * 2);
+    hi_passes = run_probe(hi);
+  }
+  if (hi == cfg.lo) {
+    result.found = true;
+    result.minimum = cfg.lo;
+    return result;
+  }
+
+  // Binary search in (hi/2, hi]: the largest failing value seen is hi/2.
+  std::uint64_t lo = hi / 2;
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (run_probe(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.found = true;
+  result.minimum = hi;
+  return result;
+}
+
+double find_min_param_median(
+    const std::function<ProbeFn(std::uint64_t seed)>& make_probe,
+    const MinSearchConfig& cfg, unsigned repeats) {
+  require(repeats >= 1, "find_min_param_median: repeats >= 1");
+  std::vector<double> minima;
+  minima.reserve(repeats);
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    MinSearchConfig rep_cfg = cfg;
+    rep_cfg.seed = derive_seed(cfg.seed, rep);
+    const auto result = find_min_param(make_probe(rep_cfg.seed), rep_cfg);
+    if (result.found) {
+      minima.push_back(static_cast<double>(result.minimum));
+    }
+  }
+  require(!minima.empty(), "find_min_param_median: no search succeeded");
+  return median(std::move(minima));
+}
+
+}  // namespace duti

@@ -1,0 +1,78 @@
+// The measurement harness: estimates a tester's two-sided success
+// probability (accept uniform AND reject far), and searches for the minimal
+// resource (q samples, k nodes, ...) at which the tester clears the paper's
+// 2/3 success bar. These measured minima are the data points every bench
+// compares against the paper's predicted curves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/sample_source.hpp"
+#include "util/confidence.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+/// One tester execution: true = accept (the tester thinks "uniform").
+using TesterRun = std::function<bool(const SampleSource&, Rng&)>;
+
+/// Creates a fresh sample source per trial. For the far side this draws a
+/// NEW random far distribution each time (a fresh perturbation z — the
+/// hard mixture of Section 3), so the measured rejection rate is over the
+/// same ensemble the lower bound argues about.
+using SourceFactory = std::function<std::unique_ptr<SampleSource>(Rng&)>;
+
+struct ProbeResult {
+  double uniform_accept_rate = 0.0;
+  double far_reject_rate = 0.0;
+  Interval uniform_ci;
+  Interval far_ci;
+  std::uint64_t trials = 0;
+
+  /// Both sides at or above the target success probability.
+  [[nodiscard]] bool passes(double target = 2.0 / 3.0) const {
+    return uniform_accept_rate >= target && far_reject_rate >= target;
+  }
+};
+
+/// Run `trials` independent executions against fresh uniform and far
+/// sources and tally both error sides.
+[[nodiscard]] ProbeResult probe_success(const TesterRun& tester,
+                                        const SourceFactory& uniform_source,
+                                        const SourceFactory& far_source,
+                                        std::size_t trials,
+                                        std::uint64_t seed);
+
+struct MinSearchConfig {
+  std::uint64_t lo = 2;          // smallest candidate value
+  std::uint64_t hi = 1ULL << 22; // give-up cap
+  std::size_t trials = 400;      // trials per probe
+  double target = 2.0 / 3.0;     // success bar on both sides
+  std::uint64_t seed = 1;
+};
+
+struct MinSearchResult {
+  std::uint64_t minimum = 0;  // smallest passing value found
+  bool found = false;         // false if even `hi` fails
+  std::vector<std::pair<std::uint64_t, ProbeResult>> probes;  // audit trail
+};
+
+/// Probe at one parameter value (the searched resource).
+using ProbeFn = std::function<ProbeResult(std::uint64_t)>;
+
+/// Find the minimal parameter value whose probe passes, assuming success is
+/// (statistically) monotone in the parameter: exponential bracketing from
+/// `lo`, then binary search inside the bracket.
+[[nodiscard]] MinSearchResult find_min_param(const ProbeFn& probe,
+                                             const MinSearchConfig& cfg);
+
+/// Median of `repeats` independent searches (different probe seeds supplied
+/// by the caller through `make_probe`); smooths the 2/3-crossing noise.
+[[nodiscard]] double find_min_param_median(
+    const std::function<ProbeFn(std::uint64_t seed)>& make_probe,
+    const MinSearchConfig& cfg, unsigned repeats);
+
+}  // namespace duti

@@ -1,0 +1,39 @@
+#include "stats/shape.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+ShapeComparison compare_shapes(const std::vector<double>& x,
+                               const std::vector<double>& measured,
+                               const std::vector<double>& predicted) {
+  require(x.size() == measured.size() && x.size() == predicted.size(),
+          "compare_shapes: size mismatch");
+  require(x.size() >= 2, "compare_shapes: need at least two points");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    require(x[i] > 0.0 && measured[i] > 0.0 && predicted[i] > 0.0,
+            "compare_shapes: data must be positive");
+  }
+  ShapeComparison out;
+  // c = exp(mean(log m - log p)) minimizes sum (log m - log(c p))^2.
+  double log_c = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    log_c += std::log(measured[i] / predicted[i]);
+  }
+  log_c /= static_cast<double>(x.size());
+  out.fitted_constant = std::exp(log_c);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ratio = measured[i] / (out.fitted_constant * predicted[i]);
+    out.max_ratio_deviation =
+        std::max(out.max_ratio_deviation, std::max(ratio, 1.0 / ratio));
+  }
+  out.measured_slope = fit_power_law(x, measured).slope;
+  out.predicted_slope = fit_power_law(x, predicted).slope;
+  out.slope_gap = std::fabs(out.measured_slope - out.predicted_slope);
+  return out;
+}
+
+}  // namespace duti

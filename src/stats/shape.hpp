@@ -1,0 +1,28 @@
+// Shape comparison between a measured curve and a paper-predicted curve.
+// Asymptotic statements fix no constants, so we fit the single multiplier c
+// minimizing the log-space error between measured and c * predicted, then
+// report the residual spread and the fitted log-log slope. A reproduction
+// "matches the shape" when the slope agrees and the residual ratio stays
+// within a small band.
+#pragma once
+
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace duti {
+
+struct ShapeComparison {
+  double fitted_constant = 0.0;   // c minimizing log-error
+  double max_ratio_deviation = 0.0;  // max_i max(m_i/(c p_i), (c p_i)/m_i)
+  double measured_slope = 0.0;    // log-log slope of measured vs x
+  double predicted_slope = 0.0;   // log-log slope of predicted vs x
+  double slope_gap = 0.0;         // |measured - predicted|
+};
+
+/// All three vectors must be positive and equally sized (>= 2 points).
+[[nodiscard]] ShapeComparison compare_shapes(
+    const std::vector<double>& x, const std::vector<double>& measured,
+    const std::vector<double>& predicted);
+
+}  // namespace duti

@@ -1,0 +1,28 @@
+// Canonical source factories shared by the benches and integration tests:
+// the uniform null, the random-Paninski far ensemble (flat domain), the
+// structured NuZ far ensemble (cube domain), and fixed distributions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "stats/harness.hpp"
+
+namespace duti::workloads {
+
+/// Fresh UniformSource on {0,...,n-1} per trial.
+[[nodiscard]] SourceFactory uniform_factory(std::uint64_t n);
+
+/// Fresh eps-far Paninski distribution with random pair signs per trial
+/// (n even). This is the flat-domain version of the paper's hard mixture.
+[[nodiscard]] SourceFactory paninski_far_factory(std::uint64_t n, double eps);
+
+/// Fresh nu_z with a uniformly random perturbation vector per trial
+/// (universe size 2^{ell+1}); sampling is O(1) per draw, so this scales to
+/// large universes.
+[[nodiscard]] SourceFactory nu_z_far_factory(unsigned ell, double eps);
+
+/// The same fixed distribution every trial.
+[[nodiscard]] SourceFactory fixed_factory(DiscreteDistribution dist);
+
+}  // namespace duti::workloads

@@ -1,0 +1,61 @@
+// Two-sample closeness testing [BFRSW'00 flavour]: given m samples from
+// each of two unknown distributions p and q on [n], decide p = q vs
+// ||p - q||_1 >= eps. The paper points out that uniformity is a special
+// case (take q = uniform), so its lower bounds transfer; this tester
+// rounds out the library's substrate on the upper-bound side.
+//
+// Statistic: with r_p, r_q the within-sample collision pair counts and
+// c_pq the cross collisions,
+//   S = (r_p + r_q)/C(m,2) - 2 c_pq / m^2
+// has E[S] = ||p||_2^2 + ||q||_2^2 - 2<p,q> = ||p - q||_2^2 >= eps^2/n
+// when eps-far (Cauchy-Schwarz), and 0 when p = q. Accept iff S is below
+// the midpoint eps^2/(2n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/sample_source.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+class ClosenessTester {
+ public:
+  /// Tester for universe n, proximity eps, m samples from EACH side.
+  ClosenessTester(std::uint64_t n, double eps, unsigned m);
+
+  /// Samples per side sufficient for constant success at this (n, eps);
+  /// the c ~ 4 constant is empirical (tests exercise it).
+  [[nodiscard]] static unsigned sufficient_m(std::uint64_t n, double eps,
+                                             double c = 4.0);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+  /// The unbiased ||p - q||_2^2 estimator (exposed for tests).
+  [[nodiscard]] double statistic(
+      std::span<const std::uint64_t> p_samples,
+      std::span<const std::uint64_t> q_samples) const;
+
+  /// Decide from explicit samples: true = accept (p and q look equal).
+  [[nodiscard]] bool accept(std::span<const std::uint64_t> p_samples,
+                            std::span<const std::uint64_t> q_samples) const;
+
+  /// Draw m samples from each source and decide.
+  [[nodiscard]] bool run(const SampleSource& p_source,
+                         const SampleSource& q_source, Rng& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double eps_;
+  unsigned m_;
+  double threshold_;
+};
+
+/// Cross-collision count #{(i,j) : p_samples[i] == q_samples[j]}.
+[[nodiscard]] std::uint64_t cross_collisions(
+    std::span<const std::uint64_t> p_samples,
+    std::span<const std::uint64_t> q_samples);
+
+}  // namespace duti

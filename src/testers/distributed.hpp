@@ -1,0 +1,92 @@
+// The distributed uniformity testers of Fischer-Meir-Oshman [7], which the
+// paper's lower bounds address:
+//
+//  * DistributedThresholdTester — every player votes on its local collision
+//    count against the uniform expectation; the referee rejects when at
+//    least T players reject. Sample-optimal (q = O(sqrt(n/k)/eps^2)) per
+//    Theorem 1.1, and the subject of Theorem 1.3's threshold lower bound.
+//
+//  * DistributedAndTester — the local-decision version: each player rejects
+//    only on overwhelming local evidence (false-alarm probability <= 1/(3k)
+//    via a Poisson tail bound), and the network rejects iff someone raises
+//    an alarm. Subject of Theorem 1.2: barely cheaper than centralized.
+//
+// Referee thresholds are calibrated by simulating a single player on the
+// uniform distribution (the tester knows n and q, so this is information
+// the protocol legitimately has). Calibration trials should exceed ~30*k
+// so the referee threshold's error stays below binomial noise.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/decision_rule.hpp"
+#include "sim/protocol.hpp"
+#include "sim/sample_source.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+struct DistributedTesterConfig {
+  std::uint64_t n = 0;  // universe size
+  unsigned k = 0;       // number of players
+  unsigned q = 0;       // samples per player (>= 2 so collisions exist)
+  double eps = 0.0;     // proximity parameter
+};
+
+/// Shared implementation detail: a player that votes "reject" iff its local
+/// pair-collision count strictly exceeds `local_threshold`.
+[[nodiscard]] SimultaneousProtocol::PlayerFactory make_collision_voters(
+    unsigned q, double local_threshold);
+
+class DistributedThresholdTester {
+ public:
+  /// Calibrates the referee threshold by estimating the per-player
+  /// rejection probability under uniform with `calib_trials` simulations.
+  DistributedThresholdTester(DistributedTesterConfig cfg, Rng& calib_rng,
+                             std::size_t calib_trials = 0 /* auto */);
+
+  /// One full protocol execution; true = accept.
+  [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const;
+
+  /// The referee's rule: reject iff at least referee_threshold() players
+  /// reject.
+  [[nodiscard]] std::uint64_t referee_threshold() const noexcept {
+    return referee_t_;
+  }
+  [[nodiscard]] double p_reject_uniform() const noexcept { return p_u_; }
+  [[nodiscard]] double local_threshold() const noexcept { return local_t_; }
+  [[nodiscard]] const DistributedTesterConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Expose the protocol and rule for integration with other harness code.
+  [[nodiscard]] SimultaneousProtocol make_protocol() const;
+  [[nodiscard]] DecisionRule make_rule() const;
+
+ private:
+  DistributedTesterConfig cfg_;
+  double local_t_ = 0.0;
+  double p_u_ = 0.0;
+  std::uint64_t referee_t_ = 1;
+};
+
+class DistributedAndTester {
+ public:
+  explicit DistributedAndTester(DistributedTesterConfig cfg);
+
+  [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const;
+
+  [[nodiscard]] double local_threshold() const noexcept { return local_t_; }
+  [[nodiscard]] const DistributedTesterConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  [[nodiscard]] SimultaneousProtocol make_protocol() const;
+  [[nodiscard]] DecisionRule make_rule() const { return DecisionRule::and_rule(); }
+
+ private:
+  DistributedTesterConfig cfg_;
+  double local_t_ = 0.0;
+};
+
+}  // namespace duti

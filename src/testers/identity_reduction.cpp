@@ -1,0 +1,78 @@
+#include "testers/identity_reduction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+IdentityReduction::IdentityReduction(DiscreteDistribution eta,
+                                     std::uint64_t expanded_size)
+    : eta_(std::move(eta)), expanded_size_(expanded_size) {
+  const std::size_t n = eta_.domain_size();
+  require(expanded_size_ >= n,
+          "IdentityReduction: expanded size must be >= domain size");
+  // Largest-remainder apportionment of expanded_size cells to buckets.
+  sizes_.assign(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(n);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = eta_.pmf(i) * static_cast<double>(expanded_size_);
+    sizes_[i] = static_cast<std::uint64_t>(std::floor(exact));
+    if (eta_.pmf(i) > 0.0 && sizes_[i] == 0) sizes_[i] = 1;
+    assigned += sizes_[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  require(assigned <= expanded_size_,
+          "IdentityReduction: expanded size too small for minimum cells");
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::uint64_t leftover = expanded_size_ - assigned;
+  for (std::size_t idx = 0; leftover > 0; idx = (idx + 1) % n) {
+    ++sizes_[remainders[idx].second];
+    --leftover;
+  }
+  starts_.assign(n, 0);
+  std::uint64_t cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    starts_[i] = cursor;
+    cursor += sizes_[i];
+  }
+  require(cursor == expanded_size_, "IdentityReduction: apportionment bug");
+}
+
+std::uint64_t IdentityReduction::map(std::uint64_t element, Rng& rng) const {
+  require(element < sizes_.size(), "IdentityReduction::map: out of range");
+  require(sizes_[element] > 0,
+          "IdentityReduction::map: sampled an eta-null element");
+  return starts_[element] + rng.next_below(sizes_[element]);
+}
+
+DiscreteDistribution IdentityReduction::mapped_distribution(
+    const DiscreteDistribution& mu) const {
+  require(mu.domain_size() == sizes_.size(),
+          "IdentityReduction: domain size mismatch");
+  std::vector<double> pmf(expanded_size_, 0.0);
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (sizes_[i] == 0) {
+      require(mu.pmf(i) == 0.0,
+              "IdentityReduction: mu puts mass on an eta-null element");
+      continue;
+    }
+    const double per_cell = mu.pmf(i) / static_cast<double>(sizes_[i]);
+    for (std::uint64_t c = 0; c < sizes_[i]; ++c) {
+      pmf[starts_[i] + c] = per_cell;
+    }
+  }
+  return DiscreteDistribution(std::move(pmf));
+}
+
+double IdentityReduction::rounding_error() const {
+  const auto mapped = mapped_distribution(eta_);
+  return mapped.l1_from_uniform();
+}
+
+}  // namespace duti

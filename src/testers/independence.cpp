@@ -1,0 +1,77 @@
+#include "testers/independence.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+JointPairSource::JointPairSource(DiscreteDistribution joint, std::uint64_t nx,
+                                 std::uint64_t ny)
+    : joint_(std::move(joint)), nx_(nx), ny_(ny) {
+  require(nx >= 1 && ny >= 1, "JointPairSource: domains must be non-empty");
+  require(joint_.domain_size() == nx * ny,
+          "JointPairSource: pmf size must be nx * ny");
+}
+
+std::pair<std::uint64_t, std::uint64_t> JointPairSource::sample(
+    Rng& rng) const {
+  const std::uint64_t flat = joint_.sample(rng);
+  return {flat / ny_, flat % ny_};  // row-major
+}
+
+IndependenceTester::IndependenceTester(std::uint64_t nx, std::uint64_t ny,
+                                       double eps, unsigned m)
+    : nx_(nx),
+      ny_(ny),
+      m_(m),
+      closeness_(nx * ny, eps, m) {
+  require(nx >= 2 && ny >= 2, "IndependenceTester: domains must be >= 2");
+  require(m >= 2, "IndependenceTester: m must be >= 2");
+}
+
+unsigned IndependenceTester::sufficient_m(std::uint64_t nx, std::uint64_t ny,
+                                          double eps, double c) {
+  return ClosenessTester::sufficient_m(nx * ny, eps, c);
+}
+
+bool IndependenceTester::accept(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> pairs,
+    Rng& rng) const {
+  require(pairs.size() == 2ULL * m_,
+          "IndependenceTester: need exactly 2m pair samples");
+  // First half: joint samples, flattened row-major.
+  std::vector<std::uint64_t> joint_flat(m_);
+  for (unsigned i = 0; i < m_; ++i) {
+    require(pairs[i].first < nx_ && pairs[i].second < ny_,
+            "IndependenceTester: pair out of range");
+    joint_flat[i] = pairs[i].first * ny_ + pairs[i].second;
+  }
+  // Second half: break dependence by permuting the y-coordinates, giving
+  // samples of marginal_x (x) marginal_y built from DISJOINT randomness.
+  std::vector<std::uint64_t> xs(m_), ys(m_);
+  for (unsigned i = 0; i < m_; ++i) {
+    require(pairs[m_ + i].first < nx_ && pairs[m_ + i].second < ny_,
+            "IndependenceTester: pair out of range");
+    xs[i] = pairs[m_ + i].first;
+    ys[i] = pairs[m_ + i].second;
+  }
+  for (std::size_t i = ys.size(); i > 1; --i) {
+    std::swap(ys[i - 1], ys[rng.next_below(i)]);
+  }
+  std::vector<std::uint64_t> product_flat(m_);
+  for (unsigned i = 0; i < m_; ++i) {
+    product_flat[i] = xs[i] * ny_ + ys[i];
+  }
+  return closeness_.accept(joint_flat, product_flat);
+}
+
+bool IndependenceTester::run(const PairSource& source, Rng& rng) const {
+  require(source.domain_x() == nx_ && source.domain_y() == ny_,
+          "IndependenceTester: domain mismatch");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs(2ULL * m_);
+  for (auto& p : pairs) p = source.sample(rng);
+  return accept(pairs, rng);
+}
+
+}  // namespace duti

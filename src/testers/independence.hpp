@@ -1,0 +1,99 @@
+// Independence testing — the other problem the paper names as containing
+// uniformity testing as a special case. Given samples of PAIRS (x, y) over
+// [n1] x [n2], decide whether the joint distribution is a product
+// distribution or eps-far (l1) from every product.
+//
+// Reduction to two-sample closeness via the permutation trick: split the
+// 2m pair-samples into two halves; keep the first half as joint samples,
+// and break the dependence in the second half by randomly permuting its
+// y-coordinates (yielding genuine samples of the product of the empirical
+// marginals). If the joint IS a product, the two sample sets come from
+// (statistically) the same distribution; if it is far from every product,
+// it is in particular far from marginal_x x marginal_y, and the closeness
+// tester fires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/sample_source.hpp"
+#include "testers/closeness.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+/// A source of pairs; domain sizes fixed at construction.
+class PairSource {
+ public:
+  virtual ~PairSource() = default;
+  [[nodiscard]] virtual std::pair<std::uint64_t, std::uint64_t> sample(
+      Rng& rng) const = 0;
+  [[nodiscard]] virtual std::uint64_t domain_x() const = 0;
+  [[nodiscard]] virtual std::uint64_t domain_y() const = 0;
+};
+
+/// Product of two independent distributions.
+class ProductPairSource final : public PairSource {
+ public:
+  ProductPairSource(DiscreteDistribution px, DiscreteDistribution py)
+      : px_(std::move(px)), py_(std::move(py)) {}
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> sample(
+      Rng& rng) const override {
+    return {px_.sample(rng), py_.sample(rng)};
+  }
+  [[nodiscard]] std::uint64_t domain_x() const override {
+    return px_.domain_size();
+  }
+  [[nodiscard]] std::uint64_t domain_y() const override {
+    return py_.domain_size();
+  }
+
+ private:
+  DiscreteDistribution px_, py_;
+};
+
+/// Joint distribution materialized as a pmf over pairs (row-major).
+class JointPairSource final : public PairSource {
+ public:
+  JointPairSource(DiscreteDistribution joint, std::uint64_t nx,
+                  std::uint64_t ny);
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> sample(
+      Rng& rng) const override;
+  [[nodiscard]] std::uint64_t domain_x() const override { return nx_; }
+  [[nodiscard]] std::uint64_t domain_y() const override { return ny_; }
+
+ private:
+  DiscreteDistribution joint_;
+  std::uint64_t nx_, ny_;
+};
+
+class IndependenceTester {
+ public:
+  /// Tester over [nx] x [ny] with proximity eps, using m pair-samples per
+  /// closeness side (2m pairs total).
+  IndependenceTester(std::uint64_t nx, std::uint64_t ny, double eps,
+                     unsigned m);
+
+  [[nodiscard]] static unsigned sufficient_m(std::uint64_t nx,
+                                             std::uint64_t ny, double eps,
+                                             double c = 4.0);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+
+  /// Decide from 2m explicit pair-samples (uses `rng` for the permutation).
+  [[nodiscard]] bool accept(
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> pairs,
+      Rng& rng) const;
+
+  /// Draw 2m pairs from `source` and decide; true = looks independent.
+  [[nodiscard]] bool run(const PairSource& source, Rng& rng) const;
+
+ private:
+  std::uint64_t nx_, ny_;
+  unsigned m_;
+  ClosenessTester closeness_;
+};
+
+}  // namespace duti

@@ -1,0 +1,71 @@
+// The single-sample regime of Acharya-Canonne-Tyagi [1]: every node holds
+// exactly ONE sample and sends r bits to the referee. Our protocol hashes
+// the sample through a shared random bijection of the (power-of-two)
+// domain and sends the top r bits; under the uniform distribution the
+// bucket values are exactly uniform on 2^r, while an eps-far distribution
+// keeps a ~ eps * sqrt(2^r / n) l2 footprint after hashing, which the
+// referee detects by collision-counting the k bucket values. This realizes
+// the k = Theta(n / (2^{r/2} eps^2)) trade-off the paper's Theorem 6.4
+// generalizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sample_source.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+/// A keyed bijection of {0,...,2^b - 1}: alternating odd-multiply and
+/// xor-shift rounds, both invertible mod 2^b. Serves as the protocol's
+/// shared randomness.
+class SharedHash {
+ public:
+  SharedHash(unsigned domain_bits, std::uint64_t key);
+
+  [[nodiscard]] std::uint64_t permute(std::uint64_t x) const noexcept;
+
+  /// Top `r` bits of the permuted value: the bucket in [0, 2^r).
+  [[nodiscard]] std::uint64_t bucket(std::uint64_t x,
+                                     unsigned r) const noexcept;
+
+  [[nodiscard]] unsigned domain_bits() const noexcept { return bits_; }
+
+ private:
+  unsigned bits_;
+  std::uint64_t mask_;
+  std::uint64_t mul1_, mul2_;
+  unsigned shift1_, shift2_;
+};
+
+class SingleSampleHashTester {
+ public:
+  struct Config {
+    std::uint64_t n = 0;  // must be a power of two
+    std::uint64_t k = 0;  // number of nodes == number of samples
+    double eps = 0.0;
+    unsigned r = 1;  // message bits per node, r <= log2(n)
+  };
+
+  /// `shared_seed` keys the shared hash (the shared randomness the model
+  /// grants; Theorem 6.1's lower bound holds even with shared randomness).
+  SingleSampleHashTester(Config cfg, std::uint64_t shared_seed);
+
+  /// Run: draw one sample per node from `source`, hash, collision-count.
+  [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const;
+
+  /// The referee decision from the k received bucket values.
+  [[nodiscard]] bool referee_accept(
+      const std::vector<std::uint64_t>& buckets) const;
+
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_;
+  SharedHash hash_;
+  double threshold_;
+};
+
+}  // namespace duti

@@ -1,0 +1,66 @@
+// Distributed uniformity testing on multi-hop topologies: every node draws
+// q samples, votes on its local collision count, and the votes are summed
+// up a BFS spanning tree to a root that applies the threshold rule — the
+// LOCAL/CONGEST-model realization of the referee protocols (the models [7]
+// studies; the simultaneous-message model is the one-round star case).
+// Cost: (tree height + 1) rounds, one O(log k)-bit message per node.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/convergecast.hpp"
+#include "sim/sample_source.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+
+struct TreeTestResult {
+  bool accept = true;
+  std::uint64_t reject_votes = 0;
+  NetworkStats stats;
+};
+
+/// One epoch: every node (root included) draws q samples from `source`,
+/// votes reject iff its collision count exceeds `local_threshold`, the
+/// votes convergecast to the tree root, and the root rejects iff at least
+/// `referee_t` rejections arrived.
+[[nodiscard]] TreeTestResult tree_uniformity_test(
+    Network& net, const SpanningTree& tree, const SampleSource& source,
+    unsigned q, double local_threshold, std::uint64_t referee_t, Rng& rng);
+
+/// A calibrated multi-hop tester mirroring DistributedThresholdTester: the
+/// local rule votes at the uniform collision mean, and the root threshold
+/// comes from the same calibration (simulate one player on uniform).
+class TreeUniformityTester {
+ public:
+  struct Config {
+    std::uint64_t n = 0;
+    unsigned q = 0;
+    double eps = 0.0;
+  };
+
+  /// `net` must outlive the tester; `root` is the decision node.
+  TreeUniformityTester(Network& net, NodeId root, Config cfg, Rng& calib_rng,
+                       std::size_t calib_trials = 0 /* auto */);
+
+  [[nodiscard]] TreeTestResult run_epoch(const SampleSource& source,
+                                         Rng& rng) const;
+  [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const {
+    return run_epoch(source, rng).accept;
+  }
+
+  [[nodiscard]] const SpanningTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] std::uint64_t referee_threshold() const noexcept {
+    return referee_t_;
+  }
+  [[nodiscard]] double local_threshold() const noexcept { return local_t_; }
+
+ private:
+  Network* net_;  // not owned
+  SpanningTree tree_;
+  Config cfg_;
+  double local_t_ = 0.0;
+  std::uint64_t referee_t_ = 1;
+};
+
+}  // namespace duti

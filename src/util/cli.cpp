@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      const std::string body = arg.substr(2);
+      require(!body.empty(), "Cli: bare '--' is not a valid flag");
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[body] = argv[++i];
+      } else {
+        flags_[body] = "true";  // bare boolean flag
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  if (auto it = flags_.find(name); it != flags_.end()) return it->second;
+  std::string env = "DUTI_";
+  for (char ch : name) {
+    env += (ch == '-') ? '_' : static_cast<char>(std::toupper(
+                                   static_cast<unsigned char>(ch)));
+  }
+  if (const char* v = std::getenv(env.c_str())) return std::string(v);
+  return std::nullopt;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("Cli: flag --" + name + " expects an integer, got '" +
+                          *v + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("Cli: flag --" + name + " expects a number, got '" +
+                          *v + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw InvalidArgument("Cli: flag --" + name + " expects a boolean, got '" +
+                        *v + "'");
+}
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      out.push_back(std::stoll(item));
+    } catch (const std::exception&) {
+      throw InvalidArgument("Cli: flag --" + name +
+                            " expects comma-separated integers, got '" + *v +
+                            "'");
+    }
+  }
+  require(!out.empty(), "Cli: flag --" + name + " list is empty");
+  return out;
+}
+
+}  // namespace duti

@@ -1,0 +1,41 @@
+#include "util/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z) {
+  require(successes <= trials, "wilson_interval: successes > trials");
+  require(z > 0.0, "wilson_interval: z must be positive");
+  if (trials == 0) return Interval{0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  Interval out;
+  out.lo = std::max(0.0, center - half);
+  out.hi = std::min(1.0, center + half);
+  return out;
+}
+
+std::uint64_t hoeffding_trials(double margin, double delta) {
+  require(margin > 0.0 && margin < 1.0, "hoeffding_trials: margin in (0,1)");
+  require(delta > 0.0 && delta < 1.0, "hoeffding_trials: delta in (0,1)");
+  const double n = std::log(2.0 / delta) / (2.0 * margin * margin);
+  return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+double hoeffding_tail(std::uint64_t trials, double eps) {
+  require(eps > 0.0, "hoeffding_tail: eps must be positive");
+  const double n = static_cast<double>(trials);
+  return std::min(1.0, 2.0 * std::exp(-2.0 * n * eps * eps));
+}
+
+}  // namespace duti

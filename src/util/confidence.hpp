@@ -1,0 +1,63 @@
+// Confidence intervals and concentration helpers for empirical success-rate
+// estimation. The experiment harness decides "does this tester succeed with
+// probability >= 2/3?" from finitely many trials; these helpers quantify the
+// uncertainty in that decision.
+#pragma once
+
+#include <cstdint>
+
+namespace duti {
+
+/// A two-sided interval [lo, hi] for an unknown probability.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  [[nodiscard]] bool contains(double p) const noexcept {
+    return lo <= p && p <= hi;
+  }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+  [[nodiscard]] double midpoint() const noexcept { return 0.5 * (lo + hi); }
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials`, at confidence level given by the normal quantile `z`
+/// (z = 1.96 for ~95%, z = 2.58 for ~99%). Well-behaved near 0 and 1,
+/// unlike the Wald interval.
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes,
+                                       std::uint64_t trials,
+                                       double z = 1.96);
+
+/// Hoeffding bound: number of trials sufficient to estimate a probability
+/// within +-margin with failure probability at most delta.
+[[nodiscard]] std::uint64_t hoeffding_trials(double margin, double delta);
+
+/// Two-sided Hoeffding deviation for a mean of `trials` [0,1]-valued samples:
+/// P(|empirical - true| >= eps) <= 2 exp(-2 trials eps^2); returns that bound.
+[[nodiscard]] double hoeffding_tail(std::uint64_t trials, double eps);
+
+/// Running binomial tally with convenience accessors.
+class SuccessCounter {
+ public:
+  void record(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::uint64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+  [[nodiscard]] double rate() const noexcept {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+  [[nodiscard]] Interval wilson(double z = 1.96) const {
+    return wilson_interval(successes_, trials_, z);
+  }
+
+ private:
+  std::uint64_t successes_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+}  // namespace duti

@@ -1,0 +1,63 @@
+// Small numeric helpers used across the library: factorial-family functions,
+// binomials (exact and logarithmic), integer powers, and float comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace duti {
+
+/// Double factorial N!! = N * (N-2) * (N-4) * ... (1 for N <= 0).
+/// Used by Proposition 5.2: |X_S| <= (|S|-1)!! * (n/2)^{q-|S|/2}.
+/// Throws InvalidArgument if the result would overflow uint64.
+[[nodiscard]] std::uint64_t double_factorial(int n);
+
+/// log(N!!) computed stably for large N.
+[[nodiscard]] double log_double_factorial(int n);
+
+/// Exact binomial coefficient C(n, k); throws on overflow of uint64.
+[[nodiscard]] std::uint64_t binomial(int n, int k);
+
+/// log(n!) via lgamma.
+[[nodiscard]] double log_factorial(int n);
+
+/// log C(n, k); returns -inf when k < 0 or k > n.
+[[nodiscard]] double log_binomial(int n, int k);
+
+/// Integer power base^exp with overflow check.
+[[nodiscard]] std::uint64_t ipow(std::uint64_t base, unsigned exp);
+
+/// base^exp as double (no overflow concerns; exp >= 0).
+[[nodiscard]] double dpow_int(double base, unsigned exp);
+
+/// Relative-or-absolute closeness test for doubles.
+[[nodiscard]] bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// Exact binomial upper tail P(Bin(n, p) >= t), summed in log space.
+[[nodiscard]] double binomial_upper_tail(int n, double p, int t);
+
+/// Least-squares fit of y = a + b*x; returns {a, b}.
+/// Used to fit log-log slopes in the experiment shape checks.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+/// Fit y ~ c * x^p on positive data by regressing log y on log x.
+/// Returns {log c as intercept, p as slope}.
+[[nodiscard]] LinearFit fit_power_law(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+/// Median of a (copied) vector; throws on empty input.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Arithmetic mean; throws on empty input.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// Unbiased sample variance; throws if fewer than two values.
+[[nodiscard]] double sample_variance(const std::vector<double>& values);
+
+}  // namespace duti

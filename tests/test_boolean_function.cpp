@@ -1,0 +1,164 @@
+#include "fourier/boolean_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fourier/families.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+namespace {
+
+TEST(BooleanCubeFunction, ConstructionValidation) {
+  EXPECT_NO_THROW(BooleanCubeFunction(std::vector<double>{1.0}));
+  EXPECT_NO_THROW(BooleanCubeFunction(std::vector<double>(8, 0.0)));
+  EXPECT_THROW(BooleanCubeFunction(std::vector<double>(3, 0.0)),
+               InvalidArgument);
+  EXPECT_THROW(BooleanCubeFunction(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(BooleanCubeFunction, NumVars) {
+  EXPECT_EQ(BooleanCubeFunction(std::vector<double>{1.0}).num_vars(), 0u);
+  EXPECT_EQ(BooleanCubeFunction(std::vector<double>(16, 0.0)).num_vars(), 4u);
+}
+
+TEST(BooleanCubeFunction, IsBoolean01) {
+  EXPECT_TRUE(BooleanCubeFunction({0.0, 1.0, 1.0, 0.0}).is_boolean01());
+  EXPECT_FALSE(BooleanCubeFunction({0.5, 0.5, 0.0, 0.0}).is_boolean01());
+}
+
+TEST(BooleanCubeFunction, MeanAndVariance) {
+  const BooleanCubeFunction f({0.0, 1.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(f.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(f.variance(), 0.25);
+  const BooleanCubeFunction g({1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(g.variance(), 0.0);
+}
+
+TEST(BooleanCubeFunction, Fact22MeanIsEmptyCoefficient) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = fn::random_boolean(5, 0.3, rng);
+    EXPECT_NEAR(f.fourier_coefficient(0), f.mean(), 1e-12);
+  }
+}
+
+TEST(BooleanCubeFunction, Fact22VarianceIsNonEmptyWeight) {
+  // var(f) = sum_{S != empty} f_hat(S)^2 — the identity the paper's
+  // Fact 2.2 states; exercised on boolean and real-valued functions.
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = (trial % 2 == 0) ? fn::random_boolean(6, 0.4, rng)
+                                    : fn::random_real(6, -1.0, 2.0, rng);
+    double non_empty = 0.0;
+    const auto& coeffs = f.fourier();
+    for (std::size_t s = 1; s < coeffs.size(); ++s) {
+      non_empty += coeffs[s] * coeffs[s];
+    }
+    EXPECT_NEAR(f.variance(), non_empty, 1e-10);
+  }
+}
+
+TEST(BooleanCubeFunction, ParsevalFact21) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto f = fn::random_real(7, -2.0, 2.0, rng);
+    double e2 = 0.0;
+    for (double v : f.values()) e2 += v * v;
+    e2 /= static_cast<double>(f.domain_size());
+    EXPECT_NEAR(f.parseval_sum(), e2, 1e-10);
+  }
+}
+
+TEST(BooleanCubeFunction, LevelWeightsPartitionParseval) {
+  Rng rng(4);
+  const auto f = fn::random_boolean(6, 0.5, rng);
+  double total = 0.0;
+  for (unsigned level = 0; level <= 6; ++level) {
+    total += f.level_weight(level);
+  }
+  EXPECT_NEAR(total, f.parseval_sum(), 1e-10);
+}
+
+TEST(BooleanCubeFunction, LowLevelWeightExcludesEmptySet) {
+  Rng rng(5);
+  const auto f = fn::random_boolean(5, 0.5, rng);
+  double expected = 0.0;
+  for (unsigned level = 1; level <= 3; ++level) {
+    expected += f.level_weight(level);
+  }
+  EXPECT_NEAR(f.low_level_weight(3), expected, 1e-12);
+}
+
+TEST(BooleanCubeFunction, TabulateMatchesValues) {
+  const auto f = BooleanCubeFunction::tabulate(
+      3, [](std::uint64_t x) { return static_cast<double>(x % 2); });
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_DOUBLE_EQ(f.value(x), static_cast<double>(x % 2));
+  }
+}
+
+TEST(BooleanCubeFunction, RestrictionFixesVariables) {
+  // f(x0,x1,x2) = x0 XOR x2 (as bits); fix x2 = 1 -> g(x0,x1) = NOT x0.
+  const auto f = BooleanCubeFunction::tabulate(3, [](std::uint64_t x) {
+    return static_cast<double>(((x >> 0) ^ (x >> 2)) & 1ULL);
+  });
+  const auto g = f.restrict_vars(0b100, 0b100);
+  EXPECT_EQ(g.num_vars(), 2u);
+  for (std::uint64_t y = 0; y < 4; ++y) {
+    // free vars are x0 (bit0) and x1 (bit1), densely packed in order.
+    const double expected = static_cast<double>(1 - (y & 1ULL));
+    EXPECT_DOUBLE_EQ(g.value(y), expected) << "y=" << y;
+  }
+}
+
+TEST(BooleanCubeFunction, RestrictionAveragesCompose) {
+  // E over fixed values of mean(restriction) equals the global mean.
+  Rng rng(6);
+  const auto f = fn::random_real(6, 0.0, 1.0, rng);
+  const std::uint64_t fixed_mask = 0b101010;
+  double acc = 0.0;
+  int count = 0;
+  for (std::uint64_t assignment = 0; assignment < 64; ++assignment) {
+    if ((assignment & ~fixed_mask) != 0) continue;
+    acc += f.restrict_vars(fixed_mask, assignment).mean();
+    ++count;
+  }
+  EXPECT_NEAR(acc / count, f.mean(), 1e-10);
+}
+
+TEST(BooleanCubeFunction, RestrictionValidation) {
+  const auto f = fn::constant(3, 1.0);
+  EXPECT_THROW(f.restrict_vars(0b1000, 0), InvalidArgument);
+  EXPECT_THROW(f.restrict_vars(0b001, 0b010), InvalidArgument);
+}
+
+TEST(BooleanCubeFunction, ComplementFlipsValues) {
+  const BooleanCubeFunction f({0.0, 1.0, 1.0, 1.0});
+  const auto g = f.complement();
+  EXPECT_DOUBLE_EQ(g.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.value(3), 0.0);
+  EXPECT_NEAR(g.mean(), 1.0 - f.mean(), 1e-12);
+  EXPECT_NEAR(g.variance(), f.variance(), 1e-12);
+}
+
+TEST(BooleanCubeFunction, ComplementPreservesNonEmptySpectrumMagnitude) {
+  // 1 - f flips the sign of every non-empty coefficient; level weights are
+  // unchanged (used in the proof of Lemma 4.3).
+  Rng rng(7);
+  const auto f = fn::random_boolean(5, 0.2, rng);
+  const auto g = f.complement();
+  for (unsigned level = 1; level <= 5; ++level) {
+    EXPECT_NEAR(f.level_weight(level), g.level_weight(level), 1e-12);
+  }
+}
+
+TEST(BooleanCubeFunction, FourierCoefficientRangeCheck) {
+  const auto f = fn::constant(2, 0.0);
+  EXPECT_THROW((void)f.fourier_coefficient(4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace duti

@@ -1,0 +1,115 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+TEST(Lemma51, FormulaAndValidity) {
+  // 4 q eps^2 / sqrt(n) * sqrt(var)
+  EXPECT_NEAR(bounds::lemma51_bound(10000.0, 10.0, 0.5, 0.25),
+              4.0 * 10.0 * 0.25 / 100.0 * 0.5, 1e-12);
+  EXPECT_TRUE(bounds::lemma51_valid(10000.0, 100.0, 0.5));
+  // cap = sqrt(n)/(4 eps^2) = 100/1 = 100
+  EXPECT_FALSE(bounds::lemma51_valid(10000.0, 101.0, 0.5));
+}
+
+TEST(Lemma42, FormulaAndValidity) {
+  const double n = 10000.0, q = 5.0, eps = 0.5, var = 0.2;
+  const double e2 = eps * eps;
+  EXPECT_NEAR(bounds::lemma42_bound(n, q, eps, var),
+              (20.0 * q * q * e2 * e2 / n + q * e2 / n) * var, 1e-12);
+  // cap = sqrt(n)/(20 eps^2) = 100/5 = 20
+  EXPECT_TRUE(bounds::lemma42_valid(n, 20.0, eps));
+  EXPECT_FALSE(bounds::lemma42_valid(n, 21.0, eps));
+}
+
+TEST(Lemma43, FormulaMatchesByHand) {
+  const double n = 1.0e8, q = 10.0, eps = 0.1;
+  const unsigned m = 2;
+  const double var = 0.01;
+  const double ratio = q / std::sqrt(n);
+  const double expected =
+      (ratio + std::pow(ratio, 1.0 / 6.0)) * 40.0 * 4.0 * eps * eps *
+      std::pow(var, 5.0 / 6.0);
+  EXPECT_NEAR(bounds::lemma43_bound(n, q, eps, m, var), expected, 1e-12);
+}
+
+TEST(Lemma43, ValidityCapsApplyBothTerms) {
+  // base = 40 m^2 eps^2; q must be below sqrt(n)/base AND
+  // sqrt(n)/base^{m+1}.
+  const double n = 1.0e6, eps = 0.5;
+  const unsigned m = 1;
+  const double base = 40.0 * 1.0 * 0.25;  // = 10
+  const double cap = std::sqrt(n) / (base * base);  // base^{m+1} = 100
+  EXPECT_TRUE(bounds::lemma43_valid(n, cap, eps, m));
+  EXPECT_FALSE(bounds::lemma43_valid(n, cap * 1.01 + 1.0, eps, m));
+}
+
+TEST(Lemma43, ShrinksWithVarianceFasterThanLinear51ForSmallVar) {
+  // For strongly biased G (tiny variance), Lemma 4.3's var^{(2m+1)/(2m+2)}
+  // beats Lemma 5.1's sqrt(var)? No — the opposite: 4.3's exponent is
+  // LARGER than 1/2, so its var-dependence is SMALLER for var < 1. Verify
+  // the exponent ordering by ratio test.
+  const double n = 1.0e10, q = 4.0, eps = 0.01;
+  const double v_small = 1e-8, v_big = 1e-2;
+  const double r43 = bounds::lemma43_bound(n, q, eps, 1, v_small) /
+                     bounds::lemma43_bound(n, q, eps, 1, v_big);
+  const double r51 = bounds::lemma51_bound(n, q, eps, v_small) /
+                     bounds::lemma51_bound(n, q, eps, v_big);
+  EXPECT_LT(r43, r51);  // 4.3 decays faster as var -> 0
+}
+
+TEST(Lemma44, FirstTermMatchesLinearPart) {
+  const double n = 1.0e6, q = 3.0, eps = 0.2;
+  // With var -> 0 the second term (var^{2-1/(m+1)}) vanishes faster than
+  // the first (var^1): the bound is asymptotically the linear term.
+  const double var = 1e-12;
+  const double linear = 2.0 * eps * eps * q / n * var;
+  const double bound = bounds::lemma44_bound(n, q, eps, 1, var);
+  EXPECT_NEAR(bound, linear, linear * 0.01);
+}
+
+TEST(Lemma44, ValidityUsesFortyMSquaredBase) {
+  const double n = 1.0e8, eps = 0.1;
+  const unsigned m = 1;
+  const double base = (40.0 * 1.0) * (40.0 * 1.0) * 0.01;  // = 16
+  const double cap = std::sqrt(n) / (base * base);
+  EXPECT_TRUE(bounds::lemma44_valid(n, cap, eps, m));
+  EXPECT_FALSE(bounds::lemma44_valid(n, cap * 1.01 + 1.0, eps, m));
+}
+
+TEST(Bounds, MonotoneInQ) {
+  for (double q = 1.0; q < 50.0; q += 7.0) {
+    EXPECT_LE(bounds::lemma42_bound(1e6, q, 0.1, 0.2),
+              bounds::lemma42_bound(1e6, q + 1.0, 0.1, 0.2));
+    EXPECT_LE(bounds::lemma51_bound(1e6, q, 0.1, 0.2),
+              bounds::lemma51_bound(1e6, q + 1.0, 0.1, 0.2));
+  }
+}
+
+TEST(Bounds, MonotoneInVariance) {
+  for (double v = 0.01; v < 0.25; v += 0.05) {
+    EXPECT_LE(bounds::lemma42_bound(1e6, 5.0, 0.1, v),
+              bounds::lemma42_bound(1e6, 5.0, 0.1, v + 0.01));
+    EXPECT_LE(bounds::lemma43_bound(1e6, 5.0, 0.1, 1, v),
+              bounds::lemma43_bound(1e6, 5.0, 0.1, 1, v + 0.01));
+  }
+}
+
+TEST(Bounds, ArgumentValidation) {
+  EXPECT_THROW((void)bounds::lemma51_bound(1.0, 5.0, 0.1, 0.2), InvalidArgument);
+  EXPECT_THROW((void)bounds::lemma42_bound(1e6, 0.5, 0.1, 0.2), InvalidArgument);
+  EXPECT_THROW((void)bounds::lemma42_bound(1e6, 5.0, 1.5, 0.2), InvalidArgument);
+  EXPECT_THROW((void)bounds::lemma42_bound(1e6, 5.0, 0.1, -0.1), InvalidArgument);
+  EXPECT_THROW((void)bounds::lemma43_bound(1e6, 5.0, 0.1, 0, 0.2), InvalidArgument);
+  EXPECT_THROW((void)bounds::lemma44_bound(1e6, 5.0, 0.1, 1, 0.2, -1.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace duti

@@ -1,0 +1,144 @@
+#include "testers/closeness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.hpp"
+#include "util/confidence.hpp"
+
+namespace duti {
+namespace {
+
+TEST(CrossCollisions, ByHand) {
+  const std::vector<std::uint64_t> p{1, 2, 2, 3};
+  const std::vector<std::uint64_t> q{2, 3, 3, 5};
+  // matches: q[0]=2 hits 2 copies; q[1]=3 hits 1; q[2]=3 hits 1; q[3]=5: 0.
+  EXPECT_EQ(cross_collisions(p, q), 4u);
+  EXPECT_EQ(cross_collisions(p, std::vector<std::uint64_t>{}), 0u);
+  EXPECT_EQ(cross_collisions(std::vector<std::uint64_t>{}, q), 0u);
+}
+
+TEST(CrossCollisions, MatchesBruteForce) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> p(25), q(30);
+    for (auto& v : p) v = rng.next_below(8);
+    for (auto& v : q) v = rng.next_below(8);
+    std::uint64_t brute = 0;
+    for (auto a : p) {
+      for (auto b : q) {
+        if (a == b) ++brute;
+      }
+    }
+    ASSERT_EQ(cross_collisions(p, q), brute);
+  }
+}
+
+TEST(ClosenessTester, StatisticUnbiasedForL2Gap) {
+  Rng rng(2);
+  const std::uint64_t n = 64;
+  const unsigned m = 100;
+  const auto p = gen::zipf(n, 0.7);
+  const auto q = DiscreteDistribution::uniform(n);
+  const double expected = p.l2_distance(q) * p.l2_distance(q);
+  const ClosenessTester tester(n, 0.5, m);
+  const DistributionSource ps(p), qs(q);
+  double acc = 0.0;
+  const int trials = 20000;
+  std::vector<std::uint64_t> a, b;
+  for (int t = 0; t < trials; ++t) {
+    ps.sample_many(rng, m, a);
+    qs.sample_many(rng, m, b);
+    acc += tester.statistic(a, b);
+  }
+  EXPECT_NEAR(acc / trials, expected, 0.05 * expected);
+}
+
+TEST(ClosenessTester, StatisticNearZeroWhenEqual) {
+  Rng rng(3);
+  const std::uint64_t n = 64;
+  const unsigned m = 100;
+  const auto p = gen::zipf(n, 0.7);
+  const ClosenessTester tester(n, 0.5, m);
+  const DistributionSource ps(p);
+  double acc = 0.0;
+  const int trials = 20000;
+  std::vector<std::uint64_t> a, b;
+  for (int t = 0; t < trials; ++t) {
+    ps.sample_many(rng, m, a);
+    ps.sample_many(rng, m, b);
+    acc += tester.statistic(a, b);
+  }
+  EXPECT_NEAR(acc / trials, 0.0, 2e-4);
+}
+
+TEST(ClosenessTester, SeparatesEqualFromFar) {
+  const std::uint64_t n = 256;
+  const double eps = 0.6;
+  const unsigned m = ClosenessTester::sufficient_m(n, eps, 6.0);
+  const ClosenessTester tester(n, eps, m);
+  SuccessCounter equal_ok, far_ok;
+  for (int t = 0; t < 150; ++t) {
+    // Equal case: both sides the same (randomly chosen) distribution.
+    Rng gen_rng = make_rng(4, t);
+    const DistributionSource both(gen::random_perturbation(n, 0.4, gen_rng));
+    Rng r1 = make_rng(5, t);
+    equal_ok.record(tester.run(both, both, r1));
+    // Far case: uniform vs a fresh eps-far distribution.
+    const UniformSource uniform(n);
+    Rng far_gen = make_rng(6, t);
+    const DistributionSource far(gen::paninski(n, eps, far_gen));
+    Rng r2 = make_rng(7, t);
+    far_ok.record(!tester.run(uniform, far, r2));
+  }
+  EXPECT_GE(equal_ok.rate(), 0.75);
+  EXPECT_GE(far_ok.rate(), 0.75);
+}
+
+TEST(ClosenessTester, UniformityIsASpecialCase) {
+  // Testing against an explicit uniform sampler = uniformity testing.
+  const std::uint64_t n = 256;
+  const double eps = 0.8;
+  const unsigned m = ClosenessTester::sufficient_m(n, eps);
+  const ClosenessTester tester(n, eps, m);
+  const UniformSource uniform(n);
+  SuccessCounter rejects;
+  for (int t = 0; t < 100; ++t) {
+    Rng g = make_rng(8, t);
+    const DistributionSource far(gen::paninski(n, eps, g));
+    Rng r = make_rng(9, t);
+    rejects.record(!tester.run(far, uniform, r));
+  }
+  EXPECT_GE(rejects.rate(), 0.75);
+}
+
+TEST(ClosenessTester, FailsWithFarTooFewSamples) {
+  const std::uint64_t n = 1 << 14;
+  const ClosenessTester tester(n, 0.4, 6);
+  const UniformSource uniform(n);
+  SuccessCounter far_reject;
+  for (int t = 0; t < 200; ++t) {
+    Rng g = make_rng(10, t);
+    const DistributionSource far(gen::paninski(n, 0.4, g));
+    Rng r = make_rng(11, t);
+    far_reject.record(!tester.run(uniform, far, r));
+  }
+  EXPECT_LE(far_reject.rate(), 0.4);
+}
+
+TEST(ClosenessTester, Validation) {
+  EXPECT_THROW(ClosenessTester(1, 0.5, 10), InvalidArgument);
+  EXPECT_THROW(ClosenessTester(64, 0.0, 10), InvalidArgument);
+  EXPECT_THROW(ClosenessTester(64, 0.5, 1), InvalidArgument);
+  const ClosenessTester tester(64, 0.5, 10);
+  std::vector<std::uint64_t> wrong(5, 0), right(10, 0);
+  EXPECT_THROW((void)tester.statistic(wrong, right), InvalidArgument);
+}
+
+TEST(ClosenessTester, SufficientMScaling) {
+  const auto m1 = ClosenessTester::sufficient_m(1 << 10, 0.5);
+  const auto m2 = ClosenessTester::sufficient_m(1 << 12, 0.5);
+  EXPECT_NEAR(static_cast<double>(m2) / m1, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace duti

@@ -1,0 +1,109 @@
+#include "util/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+namespace {
+
+TEST(Wilson, ZeroTrialsIsFullInterval) {
+  const auto iv = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+}
+
+TEST(Wilson, ContainsEmpiricalRateInInterior) {
+  // Note: at the boundaries (0 or all successes) the Wilson interval is
+  // strictly inside [0,1] and deliberately excludes the degenerate rate.
+  for (std::uint64_t trials : {10ULL, 100ULL, 1000ULL}) {
+    for (std::uint64_t s = trials / 5; s < trials; s += trials / 5) {
+      const auto iv = wilson_interval(s, trials);
+      const double p = static_cast<double>(s) / static_cast<double>(trials);
+      EXPECT_TRUE(iv.contains(p)) << s << "/" << trials;
+    }
+  }
+}
+
+TEST(Wilson, BoundaryIntervalsShrinkTowardTruth) {
+  const auto zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto full = wilson_interval(100, 100);
+  EXPECT_LT(full.lo, 1.0);
+  EXPECT_GT(full.lo, 0.9);
+}
+
+TEST(Wilson, StaysInUnitInterval) {
+  const auto all = wilson_interval(100, 100);
+  EXPECT_LE(all.hi, 1.0);
+  EXPECT_GT(all.lo, 0.9);
+  const auto none = wilson_interval(0, 100);
+  EXPECT_GE(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.1);
+}
+
+TEST(Wilson, NarrowsWithTrials) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(Wilson, HigherZIsWider) {
+  const auto z196 = wilson_interval(30, 100, 1.96);
+  const auto z258 = wilson_interval(30, 100, 2.58);
+  EXPECT_GT(z258.width(), z196.width());
+}
+
+TEST(Wilson, InvalidArgsThrow) {
+  EXPECT_THROW((void)wilson_interval(5, 4), InvalidArgument);
+  EXPECT_THROW((void)wilson_interval(1, 4, 0.0), InvalidArgument);
+}
+
+TEST(Wilson, Coverage) {
+  // Empirical coverage check: the 95% interval should contain the true p
+  // in at least ~90% of repetitions (conservatively loose bar).
+  Rng rng(99);
+  const double p = 0.3;
+  const int reps = 500;
+  const int trials = 200;
+  int covered = 0;
+  for (int r = 0; r < reps; ++r) {
+    std::uint64_t hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      if (rng.next_bernoulli(p)) ++hits;
+    }
+    if (wilson_interval(hits, trials).contains(p)) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(0.9 * reps));
+}
+
+TEST(HoeffdingTrials, MatchesFormula) {
+  const auto n = hoeffding_trials(0.1, 0.05);
+  // log(2/0.05) / (2 * 0.01) = ~184.4 -> 185
+  EXPECT_EQ(n, 185u);
+  EXPECT_THROW((void)hoeffding_trials(0.0, 0.1), InvalidArgument);
+  EXPECT_THROW((void)hoeffding_trials(0.1, 1.5), InvalidArgument);
+}
+
+TEST(HoeffdingTail, DecreasesWithTrials) {
+  EXPECT_GT(hoeffding_tail(10, 0.1), hoeffding_tail(1000, 0.1));
+  EXPECT_LE(hoeffding_tail(1, 0.01), 1.0);
+}
+
+TEST(SuccessCounter, TallyAndRate) {
+  SuccessCounter c;
+  EXPECT_EQ(c.trials(), 0u);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.0);
+  c.record(true);
+  c.record(true);
+  c.record(false);
+  EXPECT_EQ(c.trials(), 3u);
+  EXPECT_EQ(c.successes(), 2u);
+  EXPECT_NEAR(c.rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(c.wilson().contains(2.0 / 3.0));
+}
+
+}  // namespace
+}  // namespace duti

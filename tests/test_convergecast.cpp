@@ -1,0 +1,186 @@
+#include "sim/convergecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dist/generators.hpp"
+#include "testers/tree_tester.hpp"
+#include "util/confidence.hpp"
+
+namespace duti {
+namespace {
+
+TEST(SpanningTree, PathFromEnd) {
+  Network net(5);
+  add_path(net);
+  const auto tree = bfs_spanning_tree(net, 0);
+  EXPECT_EQ(tree.root, 0u);
+  EXPECT_EQ(tree.height, 4u);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_EQ(tree.parent[v], v - 1);
+    EXPECT_EQ(tree.depth[v], v);
+  }
+}
+
+TEST(SpanningTree, GridHeightIsManhattanRadius) {
+  Network net(16);
+  add_grid(net, 4, 4);
+  const auto corner = bfs_spanning_tree(net, 0);
+  EXPECT_EQ(corner.height, 6u);  // to opposite corner: 3 + 3
+  const auto center = bfs_spanning_tree(net, 5);  // (1,1)
+  EXPECT_EQ(center.height, 4u);  // to (3,3): 2+2
+}
+
+TEST(SpanningTree, BinaryTreeDepths) {
+  Network net(7);
+  add_binary_tree(net);
+  const auto tree = bfs_spanning_tree(net, 0);
+  EXPECT_EQ(tree.height, 2u);
+  EXPECT_EQ(tree.children(0).size(), 2u);
+  EXPECT_EQ(tree.children(1).size(), 2u);
+  EXPECT_EQ(tree.children(3).size(), 0u);
+}
+
+TEST(SpanningTree, CycleHalvesTheDistance) {
+  Network net(8);
+  add_cycle(net);
+  const auto tree = bfs_spanning_tree(net, 0);
+  EXPECT_EQ(tree.height, 4u);  // farthest node on an 8-cycle
+}
+
+TEST(SpanningTree, DisconnectedThrows) {
+  Network net(4);
+  net.add_edge(0, 1);
+  net.add_edge(1, 0);
+  EXPECT_THROW(bfs_spanning_tree(net, 0), Error);
+}
+
+TEST(SpanningTree, AsymmetricEdgeThrows) {
+  Network net(2);
+  net.add_edge(0, 1);  // no reverse edge
+  EXPECT_THROW(bfs_spanning_tree(net, 0), Error);
+}
+
+TEST(Convergecast, SumsAllValuesOnPath) {
+  Network net(6);
+  add_path(net);
+  const auto tree = bfs_spanning_tree(net, 0);
+  std::vector<std::uint64_t> values{1, 2, 3, 4, 5, 6};
+  Rng rng(1);
+  const auto result = convergecast_sum(net, tree, values, 8, rng);
+  EXPECT_EQ(result.root_sum, 21u);
+  EXPECT_EQ(result.stats.messages_sent, 5u);  // one per non-root node
+  EXPECT_EQ(result.stats.bits_sent, 40u);
+  // Path of height 5: leaf's message needs 5 hops of pipelining.
+  EXPECT_LE(result.stats.rounds_executed, tree.height + 2);
+}
+
+TEST(Convergecast, SumsOnGridAndStarAndTree) {
+  for (auto topo : {0, 1, 2}) {
+    Network net(9);
+    NodeId root = 0;
+    if (topo == 0) {
+      add_grid(net, 3, 3);
+    } else if (topo == 1) {
+      net.add_star(4);
+      root = 4;
+    } else {
+      add_binary_tree(net);
+    }
+    const auto tree = bfs_spanning_tree(net, root);
+    std::vector<std::uint64_t> values(9);
+    std::iota(values.begin(), values.end(), 10);  // 10..18 -> sum 126
+    Rng rng(2);
+    const auto result = convergecast_sum(net, tree, values, 8, rng);
+    EXPECT_EQ(result.root_sum, 126u) << "topo=" << topo;
+    EXPECT_EQ(result.stats.messages_sent, 8u);
+  }
+}
+
+TEST(Convergecast, StarFinishesInTwoRounds) {
+  Network net(10);
+  net.add_star(0);
+  const auto tree = bfs_spanning_tree(net, 0);
+  EXPECT_EQ(tree.height, 1u);
+  std::vector<std::uint64_t> values(10, 1);
+  Rng rng(3);
+  const auto result = convergecast_sum(net, tree, values, 1, rng);
+  EXPECT_EQ(result.root_sum, 10u);
+  EXPECT_LE(result.stats.rounds_executed, 2u);
+}
+
+TEST(Convergecast, SizeMismatchThrows) {
+  Network net(3);
+  add_path(net);
+  const auto tree = bfs_spanning_tree(net, 0);
+  std::vector<std::uint64_t> wrong(2, 1);
+  Rng rng(4);
+  EXPECT_THROW((void)convergecast_sum(net, tree, wrong, 1, rng),
+               InvalidArgument);
+}
+
+TEST(TreeTester, GridTesterSeparatesUniformFromFar) {
+  const std::uint64_t n = 1024;
+  const double eps = 0.5;
+  const unsigned q = 64;  // generous for k = 36 on n = 1024
+  Network net(36);
+  add_grid(net, 6, 6);
+  Rng calib(5);
+  const TreeUniformityTester tester(net, 0, {n, q, eps}, calib);
+  SuccessCounter uniform_ok, far_ok;
+  const UniformSource uniform(n);
+  for (int t = 0; t < 80; ++t) {
+    Rng r1 = make_rng(6, t);
+    uniform_ok.record(tester.run(uniform, r1));
+    Rng g = make_rng(7, t);
+    const DistributionSource far(gen::paninski(n, eps, g));
+    Rng r2 = make_rng(8, t);
+    far_ok.record(!tester.run(far, r2));
+  }
+  EXPECT_GE(uniform_ok.rate(), 2.0 / 3.0);
+  EXPECT_GE(far_ok.rate(), 2.0 / 3.0);
+}
+
+TEST(TreeTester, RoundsScaleWithDiameterNotSize) {
+  const std::uint64_t n = 256;
+  const unsigned q = 16;
+  // 64 nodes as a path (height 63) vs as a star (height 1).
+  Network path_net(64);
+  add_path(path_net);
+  Rng c1(9);
+  const TreeUniformityTester path_tester(path_net, 0, {n, q, 0.5}, c1, 500);
+  Network star_net(64);
+  star_net.add_star(0);
+  Rng c2(10);
+  const TreeUniformityTester star_tester(star_net, 0, {n, q, 0.5}, c2, 500);
+  const UniformSource uniform(n);
+  Rng r1(11), r2(12);
+  const auto path_result = path_tester.run_epoch(uniform, r1);
+  const auto star_result = star_tester.run_epoch(uniform, r2);
+  EXPECT_GT(path_result.stats.rounds_executed, 30u);
+  EXPECT_LE(star_result.stats.rounds_executed, 2u);
+  // Same communication volume either way: one message per non-root node.
+  EXPECT_EQ(path_result.stats.messages_sent, 63u);
+  EXPECT_EQ(star_result.stats.messages_sent, 63u);
+}
+
+TEST(TreeTester, VoteCountMatchesDirectComputation) {
+  // The convergecast total must equal the sum of the local votes computed
+  // offline with the same seeds.
+  const std::uint64_t n = 128;
+  const unsigned q = 16;
+  Network net(8);
+  add_cycle(net);
+  const auto tree = bfs_spanning_tree(net, 0);
+  const UniformSource uniform(n);
+  const double local_t = 16.0 * 15.0 / 2.0 / 128.0;
+  Rng r1(13);
+  const auto result =
+      tree_uniformity_test(net, tree, uniform, q, local_t, 3, r1);
+  EXPECT_LE(result.reject_votes, 8u);
+  EXPECT_EQ(result.accept, result.reject_votes < 3);
+}
+
+}  // namespace
+}  // namespace duti

@@ -1,0 +1,122 @@
+#include "sim/decision_rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+using Votes = std::vector<std::uint8_t>;
+
+TEST(DecisionRule, AndRule) {
+  const auto rule = DecisionRule::and_rule();
+  EXPECT_TRUE(rule.decide(Votes{1, 1, 1}));
+  EXPECT_FALSE(rule.decide(Votes{1, 0, 1}));
+  EXPECT_FALSE(rule.decide(Votes{0, 0, 0}));
+  EXPECT_TRUE(rule.decide(Votes{}));  // vacuous truth
+  EXPECT_EQ(rule.name(), "AND");
+}
+
+TEST(DecisionRule, OrRule) {
+  const auto rule = DecisionRule::or_rule();
+  EXPECT_TRUE(rule.decide(Votes{0, 0, 1}));
+  EXPECT_FALSE(rule.decide(Votes{0, 0, 0}));
+  EXPECT_TRUE(rule.decide(Votes{1, 1, 1}));
+}
+
+TEST(DecisionRule, ThresholdSemantics) {
+  // Reject iff at least T rejections (zeros).
+  const auto t2 = DecisionRule::threshold(2);
+  EXPECT_TRUE(t2.decide(Votes{1, 1, 1, 1}));
+  EXPECT_TRUE(t2.decide(Votes{0, 1, 1, 1}));   // one reject < T
+  EXPECT_FALSE(t2.decide(Votes{0, 0, 1, 1}));  // two rejects >= T
+  EXPECT_FALSE(t2.decide(Votes{0, 0, 0, 0}));
+}
+
+TEST(DecisionRule, ThresholdOneIsAndRule) {
+  const auto t1 = DecisionRule::threshold(1);
+  const auto and_r = DecisionRule::and_rule();
+  for (std::uint32_t bits = 0; bits < 16; ++bits) {
+    Votes v(4);
+    for (unsigned i = 0; i < 4; ++i) {
+      v[i] = static_cast<std::uint8_t>((bits >> i) & 1U);
+    }
+    EXPECT_EQ(t1.decide(v), and_r.decide(v)) << "bits=" << bits;
+  }
+}
+
+TEST(DecisionRule, ThresholdValidation) {
+  EXPECT_THROW(DecisionRule::threshold(0), InvalidArgument);
+}
+
+TEST(DecisionRule, Majority) {
+  const auto rule = DecisionRule::majority();
+  EXPECT_TRUE(rule.decide(Votes{1, 1, 0}));
+  EXPECT_FALSE(rule.decide(Votes{0, 0, 1}));
+  EXPECT_TRUE(rule.decide(Votes{1, 0}));  // tie -> accept
+}
+
+TEST(DecisionRule, Parity) {
+  const auto rule = DecisionRule::parity();
+  EXPECT_TRUE(rule.decide(Votes{1, 1, 1}));   // zero rejects: even
+  EXPECT_FALSE(rule.decide(Votes{0, 1, 1}));  // one reject: odd
+  EXPECT_TRUE(rule.decide(Votes{0, 0, 1}));   // two: even
+}
+
+TEST(DecisionRule, CustomRule) {
+  const auto rule = DecisionRule::custom(
+      "first-player-dictates",
+      [](std::span<const std::uint8_t> votes) { return votes[0] != 0; });
+  EXPECT_TRUE(rule.decide(Votes{1, 0, 0}));
+  EXPECT_FALSE(rule.decide(Votes{0, 1, 1}));
+  EXPECT_EQ(rule.name(), "first-player-dictates");
+  EXPECT_THROW(DecisionRule::custom("x", nullptr), InvalidArgument);
+}
+
+TEST(DecisionRule, ThresholdNameEncodesT) {
+  EXPECT_EQ(DecisionRule::threshold(7).name(), "threshold-7");
+}
+
+TEST(DecisionRule, SymmetricRuleSeesOnlyCounts) {
+  const auto rule = DecisionRule::symmetric(
+      "accept-unless-quarter-reject",
+      [](std::uint64_t rejects, std::uint64_t k) {
+        return 4 * rejects < k;
+      });
+  EXPECT_TRUE(rule.decide(Votes{1, 1, 1, 1}));
+  EXPECT_FALSE(rule.decide(Votes{0, 1, 1, 1}));
+  // Permutation invariance: any arrangement of the same counts agrees.
+  EXPECT_EQ(rule.decide(Votes{0, 1, 1, 1, 1, 1, 1, 1}),
+            rule.decide(Votes{1, 1, 1, 0, 1, 1, 1, 1}));
+  EXPECT_THROW(DecisionRule::symmetric("x", nullptr), InvalidArgument);
+}
+
+TEST(DecisionRule, BuiltInRulesAreSymmetric) {
+  // AND / OR / threshold / majority / parity all depend on the reject
+  // count only: check permutation invariance exhaustively for k = 5.
+  const std::vector<DecisionRule> rules{
+      DecisionRule::and_rule(), DecisionRule::or_rule(),
+      DecisionRule::threshold(2), DecisionRule::majority(),
+      DecisionRule::parity()};
+  for (const auto& rule : rules) {
+    for (std::uint32_t bits = 0; bits < 32; ++bits) {
+      Votes v(5);
+      int rejects = 0;
+      for (int i = 0; i < 5; ++i) {
+        v[static_cast<std::size_t>(i)] = (bits >> i) & 1U;
+        if (v[static_cast<std::size_t>(i)] == 0) ++rejects;
+      }
+      // Canonical arrangement with the same count.
+      Votes canonical(5, 1);
+      for (int i = 0; i < rejects; ++i) canonical[static_cast<std::size_t>(i)] = 0;
+      ASSERT_EQ(rule.decide(v), rule.decide(canonical))
+          << rule.name() << " bits=" << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace duti

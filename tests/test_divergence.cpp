@@ -1,0 +1,141 @@
+#include "core/divergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/predictions.hpp"
+#include "dist/discrete_distribution.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+namespace {
+
+TEST(KlBernoulli, ZeroAtEquality) {
+  for (double p : {0.0, 0.2, 0.5, 1.0}) {
+    EXPECT_NEAR(kl_bernoulli(p, p), 0.0, 1e-12);
+  }
+}
+
+TEST(KlBernoulli, KnownValue) {
+  // D(B(1/2) || B(1/4)) = 0.5 log2(2) + 0.5 log2(2/3)
+  const double expected = 0.5 + 0.5 * std::log2(2.0 / 3.0);
+  EXPECT_NEAR(kl_bernoulli(0.5, 0.25), expected, 1e-12);
+}
+
+TEST(KlBernoulli, InfiniteOnSupportViolation) {
+  EXPECT_TRUE(std::isinf(kl_bernoulli(0.5, 0.0)));
+  EXPECT_TRUE(std::isinf(kl_bernoulli(0.5, 1.0)));
+  EXPECT_NEAR(kl_bernoulli(0.0, 0.5), 1.0, 1e-12);  // log2(1/0.5) weighted
+}
+
+TEST(KlBernoulli, NonNegative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = rng.next_double();
+    const double b = 0.01 + 0.98 * rng.next_double();
+    EXPECT_GE(kl_bernoulli(a, b), -1e-12);
+  }
+}
+
+TEST(Fact63, Chi2BoundDominatesKl) {
+  // D(B(alpha) || B(beta)) <= (alpha-beta)^2 / (var(B(beta)) ln 2) — the
+  // step that converts Lemma 4.2 into a divergence cap. Swept densely.
+  for (double beta = 0.05; beta < 1.0; beta += 0.05) {
+    for (double alpha = 0.0; alpha <= 1.0; alpha += 0.02) {
+      EXPECT_LE(kl_bernoulli(alpha, beta),
+                chi2_bernoulli_bound(alpha, beta) + 1e-12)
+          << "alpha=" << alpha << " beta=" << beta;
+    }
+  }
+}
+
+TEST(Fact63, RejectsDegenerateBeta) {
+  EXPECT_THROW((void)chi2_bernoulli_bound(0.5, 0.0), InvalidArgument);
+  EXPECT_THROW((void)chi2_bernoulli_bound(0.5, 1.0), InvalidArgument);
+}
+
+TEST(KlPmf, MatchesDiscreteDistribution) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  const std::vector<double> q{0.4, 0.4, 0.2};
+  const DiscreteDistribution dp(p), dq(q);
+  EXPECT_NEAR(kl_pmf(p, q), dp.kl_divergence(dq), 1e-12);
+}
+
+TEST(Fact62, AdditivityOverIndependentCoordinates) {
+  // D(P1 x P2 || Q1 x Q2) = D(P1||Q1) + D(P2||Q2): build explicit product
+  // pmfs and verify. This is why the referee's total information splits
+  // into per-player terms (equation (9)).
+  const std::vector<double> p1{0.3, 0.7}, q1{0.5, 0.5};
+  const std::vector<double> p2{0.1, 0.2, 0.7}, q2{0.3, 0.3, 0.4};
+  std::vector<double> p12, q12;
+  for (double b : p2) {
+    for (double a : p1) p12.push_back(a * b);
+  }
+  for (double b : q2) {
+    for (double a : q1) q12.push_back(a * b);
+  }
+  EXPECT_NEAR(kl_pmf(p12, q12), kl_pmf(p1, q1) + kl_pmf(p2, q2), 1e-12);
+}
+
+TEST(Fact62, AdditivityForManyPlayers) {
+  // k iid copies: D(P^k || Q^k) = k D(P || Q), via repeated products.
+  const std::vector<double> p{0.25, 0.75}, q{0.5, 0.5};
+  std::vector<double> pk{1.0}, qk{1.0};
+  const double d1 = kl_pmf(p, q);
+  for (int k = 1; k <= 6; ++k) {
+    std::vector<double> np, nq;
+    for (double a : pk) {
+      for (double b : p) np.push_back(a * b);
+    }
+    for (double a : qk) {
+      for (double b : q) nq.push_back(a * b);
+    }
+    pk = std::move(np);
+    qk = std::move(nq);
+    EXPECT_NEAR(kl_pmf(pk, qk), k * d1, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(RequiredDivergence, Formula) {
+  EXPECT_NEAR(required_total_divergence(1.0 / 3.0), 0.1 * std::log2(3.0),
+              1e-12);
+  EXPECT_THROW((void)required_total_divergence(0.0), InvalidArgument);
+  EXPECT_THROW((void)required_total_divergence(1.0), InvalidArgument);
+}
+
+TEST(PerPlayerCap, MatchesLemma42OverLn2) {
+  const double n = 1e6, q = 10.0, eps = 0.1;
+  const double e2 = eps * eps;
+  EXPECT_NEAR(per_player_divergence_cap(n, q, eps),
+              (20.0 * q * q * e2 * e2 / n + q * e2 / n) / std::log(2.0),
+              1e-12);
+}
+
+TEST(Theorem61Solver, InvertsTheCap) {
+  // The returned q makes k * cap(q) equal the required divergence.
+  const double n = 1e6, k = 64.0, eps = 0.2, delta = 1.0 / 3.0;
+  const double q = theorem61_q_lower_bound(n, k, eps, delta);
+  EXPECT_GT(q, 0.0);
+  const double total = k * per_player_divergence_cap(n, q, eps);
+  EXPECT_NEAR(total, required_total_divergence(delta), 1e-6);
+}
+
+TEST(Theorem61Solver, ScalesLikeSqrtNOverK) {
+  // In the k <= n regime the solver's q should scale as sqrt(n/k)/eps^2.
+  const double eps = 0.25;
+  const double q1 = theorem61_q_lower_bound(1e6, 16.0, eps);
+  const double q2 = theorem61_q_lower_bound(1e6, 64.0, eps);
+  EXPECT_NEAR(q1 / q2, 2.0, 0.2);  // quadrupling k halves q
+  const double q3 = theorem61_q_lower_bound(4e6, 16.0, eps);
+  EXPECT_NEAR(q3 / q1, 2.0, 0.2);  // quadrupling n doubles q
+}
+
+TEST(Theorem61Solver, MoreConfidenceNeedsMoreSamples) {
+  EXPECT_GT(theorem61_q_lower_bound(1e6, 16.0, 0.2, 0.01),
+            theorem61_q_lower_bound(1e6, 16.0, 0.2, 1.0 / 3.0));
+}
+
+}  // namespace
+}  // namespace duti

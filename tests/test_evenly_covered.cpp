@@ -1,0 +1,210 @@
+#include "fourier/evenly_covered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace duti {
+namespace {
+
+TEST(EvenlyCovered, Predicate) {
+  const std::vector<std::uint64_t> x{3, 5, 3, 5, 7};
+  EXPECT_TRUE(is_evenly_covered(x, 0b00000));   // empty S
+  EXPECT_TRUE(is_evenly_covered(x, 0b01111));   // {3,5,3,5}
+  EXPECT_FALSE(is_evenly_covered(x, 0b10000));  // {7}
+  EXPECT_FALSE(is_evenly_covered(x, 0b00111));  // {3,5,3}
+  EXPECT_TRUE(is_evenly_covered(x, 0b00101));   // {3,3}
+  EXPECT_FALSE(is_evenly_covered(x, 0b11111));  // {3,5,3,5,7}
+}
+
+TEST(EvenlyCovered, FourOfAKind) {
+  const std::vector<std::uint64_t> x{2, 2, 2, 2};
+  EXPECT_TRUE(is_evenly_covered(x, 0b1111));
+  EXPECT_TRUE(is_evenly_covered(x, 0b0011));
+  EXPECT_FALSE(is_evenly_covered(x, 0b0111));
+}
+
+TEST(CountEvenSequences, SmallClosedForms) {
+  // Length 2 over alphabet N: the two entries must match -> N sequences.
+  for (std::uint64_t alphabet : {1ULL, 2ULL, 4ULL, 16ULL}) {
+    EXPECT_DOUBLE_EQ(count_even_sequences(alphabet, 2),
+                     static_cast<double>(alphabet));
+  }
+  // Odd lengths: impossible.
+  EXPECT_DOUBLE_EQ(count_even_sequences(8, 1), 0.0);
+  EXPECT_DOUBLE_EQ(count_even_sequences(8, 3), 0.0);
+  // Length 0: the empty sequence.
+  EXPECT_DOUBLE_EQ(count_even_sequences(8, 0), 1.0);
+  // Length 4 over alphabet N: 3N^2 - 2N (pairings minus double-counted
+  // all-equal). Check against the DP.
+  for (std::uint64_t alphabet : {2ULL, 3ULL, 8ULL}) {
+    const double expected = 3.0 * static_cast<double>(alphabet * alphabet) -
+                            2.0 * static_cast<double>(alphabet);
+    EXPECT_DOUBLE_EQ(count_even_sequences(alphabet, 4), expected);
+  }
+}
+
+TEST(CountEvenSequences, MatchesBruteForce) {
+  // Brute-force enumeration over all sequences for tiny cases.
+  for (std::uint64_t alphabet : {2ULL, 3ULL}) {
+    for (unsigned m : {2u, 4u, 6u}) {
+      double brute = 0.0;
+      std::uint64_t total = 1;
+      for (unsigned i = 0; i < m; ++i) total *= alphabet;
+      std::vector<std::uint64_t> seq(m);
+      for (std::uint64_t idx = 0; idx < total; ++idx) {
+        std::uint64_t rest = idx;
+        for (unsigned j = 0; j < m; ++j) {
+          seq[j] = rest % alphabet;
+          rest /= alphabet;
+        }
+        if (is_evenly_covered(seq, (1ULL << m) - 1)) brute += 1.0;
+      }
+      EXPECT_DOUBLE_EQ(count_even_sequences(alphabet, m), brute)
+          << "alphabet=" << alphabet << " m=" << m;
+    }
+  }
+}
+
+class CountXsTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(CountXsTest, MatchesBruteForceAndIsMaskInvariant) {
+  const auto [ell, q] = GetParam();
+  for (unsigned s_size = 0; s_size <= q; ++s_size) {
+    const double via_dp = count_x_s(ell, q, s_size);
+    // Prop 5.2(1): |X_S| depends only on |S| — verify across several masks.
+    double first = -1.0;
+    for (std::uint64_t mask = lowest_mask(s_size);
+         mask != 0 && mask < (1ULL << q); mask = next_same_popcount(mask)) {
+      const double brute = count_x_s_brute(ell, q, mask);
+      if (first < 0) {
+        first = brute;
+      } else {
+        ASSERT_DOUBLE_EQ(brute, first);
+      }
+    }
+    if (s_size == 0) {
+      first = count_x_s_brute(ell, q, 0);
+    }
+    EXPECT_DOUBLE_EQ(via_dp, first)
+        << "ell=" << ell << " q=" << q << " |S|=" << s_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDomains, CountXsTest,
+                         ::testing::Values(std::make_tuple(1u, 3u),
+                                           std::make_tuple(2u, 3u),
+                                           std::make_tuple(2u, 4u),
+                                           std::make_tuple(3u, 4u)));
+
+TEST(Prop52, BoundDominatesExactCount) {
+  for (unsigned ell : {1u, 2u, 3u}) {
+    for (unsigned q : {2u, 4u, 6u}) {
+      for (unsigned s_size = 0; s_size <= q; s_size += 2) {
+        EXPECT_LE(count_x_s(ell, q, s_size),
+                  prop52_bound(ell, q, s_size) * (1.0 + 1e-12))
+            << "ell=" << ell << " q=" << q << " |S|=" << s_size;
+      }
+    }
+  }
+}
+
+TEST(Prop52, OddSizeIsZero) {
+  EXPECT_DOUBLE_EQ(prop52_bound(3, 5, 3), 0.0);
+  EXPECT_DOUBLE_EQ(count_x_s(3, 5, 3), 0.0);
+}
+
+TEST(Gosper, EnumeratesExactlyTheRightMasks) {
+  const unsigned q = 6, bits = 3;
+  std::uint64_t count = 0;
+  for (std::uint64_t m = lowest_mask(bits); m != 0 && m < (1ULL << q);
+       m = next_same_popcount(m)) {
+    ASSERT_EQ(static_cast<unsigned>(std::popcount(m)), bits);
+    ++count;
+  }
+  EXPECT_EQ(count, binomial(6, 3));
+}
+
+TEST(ArStatistic, ByHand) {
+  // x = (a, a, b, b): S of size 2 evenly covered: {0,1} and {2,3} -> a_1=2.
+  const std::vector<std::uint64_t> x{7, 7, 9, 9};
+  EXPECT_EQ(a_r(x, 1), 2u);
+  // size-4 sets: the whole thing is evenly covered -> a_2 = 1.
+  EXPECT_EQ(a_r(x, 2), 1u);
+  EXPECT_EQ(a_r(x, 3), 0u);  // 2r > q
+  EXPECT_EQ(a_r(x, 0), 1u);  // empty set only
+}
+
+TEST(ArStatistic, AllDistinctGivesZero) {
+  const std::vector<std::uint64_t> x{1, 2, 3, 4, 5};
+  for (unsigned r = 1; r <= 2; ++r) {
+    EXPECT_EQ(a_r(x, r), 0u);
+  }
+}
+
+TEST(ArStatistic, AllEqual) {
+  const std::vector<std::uint64_t> x{4, 4, 4, 4};
+  EXPECT_EQ(a_r(x, 1), binomial(4, 2));
+  EXPECT_EQ(a_r(x, 2), 1u);
+}
+
+TEST(ArMoments, FirstMomentMatchesCombinatorialIdentity) {
+  // E_x[a_r(x)] = C(q, 2r) |X_{2r}| / (n/2)^q  (the identity used in
+  // Section 5.1's moment estimation).
+  for (unsigned ell : {1u, 2u}) {
+    for (unsigned q : {2u, 4u}) {
+      for (unsigned r = 1; 2 * r <= q; ++r) {
+        const double lhs = a_r_moment_exact(ell, q, r, 1);
+        const double side = std::ldexp(1.0, static_cast<int>(ell));
+        const double rhs = static_cast<double>(binomial(static_cast<int>(q),
+                                                        static_cast<int>(2 * r))) *
+                           count_even_sequences(1ULL << ell, 2 * r) /
+                           std::pow(side, 2.0 * r);
+        EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, rhs))
+            << "ell=" << ell << " q=" << q << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(ArMoments, McConvergesToExact) {
+  Rng rng(42);
+  const unsigned ell = 2, q = 4, r = 1, m = 2;
+  const double exact = a_r_moment_exact(ell, q, r, m);
+  const double mc = a_r_moment_mc(ell, q, r, m, 200000, rng);
+  EXPECT_NEAR(mc, exact, 0.05 * std::max(1.0, exact));
+}
+
+class Lemma55Test : public ::testing::TestWithParam<
+                        std::tuple<unsigned, unsigned, unsigned, unsigned>> {};
+
+TEST_P(Lemma55Test, BoundDominatesExactMoment) {
+  const auto [ell, q, r, m] = GetParam();
+  if (2 * r > q) GTEST_SKIP();
+  const double exact = a_r_moment_exact(ell, q, r, m);
+  if (exact == 0.0) GTEST_SKIP();
+  EXPECT_LE(std::log(exact), lemma55_log_bound(ell, q, r, m) + 1e-9)
+      << "ell=" << ell << " q=" << q << " r=" << r << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MomentSweep, Lemma55Test,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),   // ell
+                       ::testing::Values(2u, 4u, 6u),   // q
+                       ::testing::Values(1u, 2u),       // r
+                       ::testing::Values(1u, 2u, 3u))); // m
+
+TEST(Lemma55, CapacityGuard) {
+  EXPECT_THROW((void)a_r_moment_exact(10, 10, 1, 1), CapacityError);
+  EXPECT_THROW((void)count_x_s_brute(10, 10, 1), CapacityError);
+}
+
+}  // namespace
+}  // namespace duti

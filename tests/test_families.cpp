@@ -1,0 +1,142 @@
+#include "fourier/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+TEST(Families, ConstantSpectrum) {
+  const auto f = fn::constant(4, 0.3);
+  EXPECT_NEAR(f.mean(), 0.3, 1e-12);
+  EXPECT_NEAR(f.variance(), 0.0, 1e-12);
+}
+
+TEST(Families, DictatorSpectrum) {
+  // dictator_i = (1 - chi_{i}) / 2: hat(empty) = 1/2, hat({i}) = -1/2.
+  const auto f = fn::dictator(4, 2);
+  EXPECT_NEAR(f.fourier_coefficient(0), 0.5, 1e-12);
+  EXPECT_NEAR(f.fourier_coefficient(0b100), -0.5, 1e-12);
+  EXPECT_NEAR(f.level_weight(1), 0.25, 1e-12);
+  EXPECT_NEAR(f.variance(), 0.25, 1e-12);
+  EXPECT_THROW(fn::dictator(3, 3), InvalidArgument);
+}
+
+TEST(Families, ParitySpectrum) {
+  // parity_S = (1 - chi_S)/2.
+  const std::uint64_t mask = 0b1011;
+  const auto f = fn::parity(4, mask);
+  EXPECT_NEAR(f.fourier_coefficient(0), 0.5, 1e-12);
+  EXPECT_NEAR(f.fourier_coefficient(mask), -0.5, 1e-12);
+  for (std::uint64_t s = 1; s < 16; ++s) {
+    if (s != mask) {
+      ASSERT_NEAR(f.fourier_coefficient(s), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Families, CharacterIsItsOwnSpectrum) {
+  const auto f = fn::character(5, 0b10101);
+  EXPECT_NEAR(f.fourier_coefficient(0b10101), 1.0, 1e-12);
+  EXPECT_NEAR(f.parseval_sum(), 1.0, 1e-12);
+}
+
+TEST(Families, CharactersAreOrthonormal) {
+  const unsigned m = 4;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (std::uint64_t t = 0; t < 8; ++t) {
+      const auto cs = fn::character(m, s);
+      const auto ct = fn::character(m, t);
+      double inner = 0.0;
+      for (std::uint64_t x = 0; x < (1ULL << m); ++x) {
+        inner += cs.value(x) * ct.value(x);
+      }
+      inner /= static_cast<double>(1ULL << m);
+      ASSERT_NEAR(inner, s == t ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Families, AndMeanIsExponentiallySmall) {
+  for (unsigned width : {1u, 3u, 5u}) {
+    const std::uint64_t mask = (1ULL << width) - 1;
+    const auto f = fn::and_of(6, mask);
+    EXPECT_NEAR(f.mean(), std::ldexp(1.0, -static_cast<int>(width)), 1e-12);
+  }
+}
+
+TEST(Families, AndOrDeMorgan) {
+  const unsigned m = 5;
+  const std::uint64_t mask = 0b10110;
+  const auto and_f = fn::and_of(m, mask);
+  const auto or_f = fn::or_of(m, mask);
+  // OR(x) = 1 - AND over complemented inputs; check mean relation:
+  EXPECT_NEAR(or_f.mean(), 1.0 - std::ldexp(1.0, -std::popcount(mask)),
+              1e-12);
+  // Pointwise: or_of is 1 unless no masked bit set; and_of is 1 iff all set.
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    EXPECT_DOUBLE_EQ(or_f.value(x), (x & mask) != 0 ? 1.0 : 0.0);
+    EXPECT_DOUBLE_EQ(and_f.value(x), (x & mask) == mask ? 1.0 : 0.0);
+  }
+}
+
+TEST(Families, MajorityBalanced) {
+  const auto f = fn::majority(5);
+  EXPECT_NEAR(f.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(f.variance(), 0.25, 1e-12);
+  // Majority is odd: all even-level non-empty coefficients vanish.
+  for (unsigned level = 2; level <= 4; level += 2) {
+    EXPECT_NEAR(f.level_weight(level), 0.0, 1e-12);
+  }
+  EXPECT_THROW(fn::majority(4), InvalidArgument);
+}
+
+TEST(Families, MajorityLevelOneWeight) {
+  // W^1(Maj_3) = 3 * (1/2)^2? Maj_3 hat({i}) = -1/4 each (with our 0/1
+  // convention): check total level-1 weight = 3/16... compute directly.
+  const auto f = fn::majority(3);
+  const double w1 = f.level_weight(1);
+  // Maj3 = x0x1 + x0x2 + x1x2 - ... easier: exhaustive check against known
+  // value 0.1875 (= 3 * (1/4)^2).
+  EXPECT_NEAR(w1, 0.1875, 1e-12);
+}
+
+TEST(Families, ThresholdMonotoneInT) {
+  for (unsigned t = 1; t <= 6; ++t) {
+    const auto f = fn::threshold_at_least(6, t);
+    const auto g = fn::threshold_at_least(6, t - 1);
+    EXPECT_LE(f.mean(), g.mean());
+  }
+  EXPECT_NEAR(fn::threshold_at_least(6, 0).mean(), 1.0, 1e-12);
+  EXPECT_NEAR(fn::threshold_at_least(6, 7).mean(), 0.0, 1e-12);
+}
+
+TEST(Families, TribesStructure) {
+  const auto f = fn::tribes(6, 3);
+  // 1 - (1 - 1/8)^2 = 15/64.
+  EXPECT_NEAR(f.mean(), 15.0 / 64.0, 1e-12);
+  EXPECT_THROW(fn::tribes(7, 3), InvalidArgument);
+}
+
+TEST(Families, RandomBooleanMeanTracksP) {
+  Rng rng(1);
+  const auto f = fn::random_boolean(10, 0.2, rng);
+  EXPECT_TRUE(f.is_boolean01());
+  EXPECT_NEAR(f.mean(), 0.2, 0.05);
+}
+
+TEST(Families, RandomRealWithinRange) {
+  Rng rng(2);
+  const auto f = fn::random_real(6, -1.5, 2.5, rng);
+  for (double v : f.values()) {
+    ASSERT_GE(v, -1.5);
+    ASSERT_LT(v, 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace duti

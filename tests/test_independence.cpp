@@ -1,0 +1,134 @@
+#include "testers/independence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.hpp"
+#include "util/confidence.hpp"
+
+namespace duti {
+namespace {
+
+/// A maximally dependent joint: y == x (uniform diagonal on [n] x [n]).
+DiscreteDistribution diagonal_joint(std::uint64_t n) {
+  std::vector<double> pmf(n * n, 0.0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pmf[i * n + i] = 1.0 / static_cast<double>(n);
+  }
+  return DiscreteDistribution(std::move(pmf));
+}
+
+TEST(JointPairSource, RowMajorDecoding) {
+  // Point mass on (x=2, y=1) over [4] x [3].
+  std::vector<double> pmf(12, 0.0);
+  pmf[2 * 3 + 1] = 1.0;
+  const JointPairSource source(DiscreteDistribution(std::move(pmf)), 4, 3);
+  Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    const auto [x, y] = source.sample(rng);
+    EXPECT_EQ(x, 2u);
+    EXPECT_EQ(y, 1u);
+  }
+}
+
+TEST(JointPairSource, Validation) {
+  EXPECT_THROW(JointPairSource(DiscreteDistribution::uniform(10), 4, 3),
+               InvalidArgument);
+}
+
+TEST(ProductPairSource, MarginalsIndependent) {
+  const ProductPairSource source(gen::zipf(8, 1.0),
+                                 DiscreteDistribution::uniform(4));
+  EXPECT_EQ(source.domain_x(), 8u);
+  EXPECT_EQ(source.domain_y(), 4u);
+  Rng rng(2);
+  // Empirical correlation of indicator events should be ~ product.
+  int both = 0, first = 0, second = 0;
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    const auto [x, y] = source.sample(rng);
+    if (x == 0) ++first;
+    if (y == 0) ++second;
+    if (x == 0 && y == 0) ++both;
+  }
+  const double p1 = static_cast<double>(first) / trials;
+  const double p2 = static_cast<double>(second) / trials;
+  EXPECT_NEAR(static_cast<double>(both) / trials, p1 * p2, 0.01);
+}
+
+TEST(IndependenceTester, AcceptsProductDistributions) {
+  const std::uint64_t nx = 16, ny = 16;
+  const double eps = 0.8;
+  const unsigned m = IndependenceTester::sufficient_m(nx, ny, eps, 6.0);
+  const IndependenceTester tester(nx, ny, eps, m);
+  SuccessCounter ok;
+  for (int t = 0; t < 100; ++t) {
+    Rng gen_rng = make_rng(3, t);
+    const ProductPairSource source(gen::random_perturbation(nx, 0.5, gen_rng),
+                                   gen::zipf(ny, 0.5));
+    Rng rng = make_rng(4, t);
+    ok.record(tester.run(source, rng));
+  }
+  EXPECT_GE(ok.rate(), 0.7);
+}
+
+TEST(IndependenceTester, RejectsDiagonalJoint) {
+  // The diagonal is far from every product distribution (its closest
+  // product is uniform on the grid, at l1 distance ~ 2(1 - 1/n)).
+  const std::uint64_t n = 16;
+  const double eps = 0.8;
+  const unsigned m = IndependenceTester::sufficient_m(n, n, eps, 6.0);
+  const IndependenceTester tester(n, n, eps, m);
+  const JointPairSource source(diagonal_joint(n), n, n);
+  SuccessCounter rejects;
+  for (int t = 0; t < 100; ++t) {
+    Rng rng = make_rng(5, t);
+    rejects.record(!tester.run(source, rng));
+  }
+  EXPECT_GE(rejects.rate(), 0.75);
+}
+
+TEST(IndependenceTester, RejectsPartialCorrelation) {
+  // Mixture: with prob 1/2 sample the diagonal, else the product — still
+  // far from independent.
+  const std::uint64_t n = 16;
+  auto diag = diagonal_joint(n);
+  const auto uniform_grid = DiscreteDistribution::uniform(n * n);
+  const auto mixed = diag.mix(uniform_grid, 0.5);
+  const double eps = 0.4;
+  const unsigned m = IndependenceTester::sufficient_m(n, n, eps, 6.0);
+  const IndependenceTester tester(n, n, eps, m);
+  const JointPairSource source(mixed, n, n);
+  SuccessCounter rejects;
+  for (int t = 0; t < 100; ++t) {
+    Rng rng = make_rng(6, t);
+    rejects.record(!tester.run(source, rng));
+  }
+  EXPECT_GE(rejects.rate(), 0.7);
+}
+
+TEST(IndependenceTester, Validation) {
+  EXPECT_THROW(IndependenceTester(1, 4, 0.5, 10), InvalidArgument);
+  EXPECT_THROW(IndependenceTester(4, 4, 0.5, 1), InvalidArgument);
+  const IndependenceTester tester(4, 4, 0.5, 10);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> wrong(5);
+  Rng rng(7);
+  EXPECT_THROW((void)tester.accept(wrong, rng), InvalidArgument);
+}
+
+TEST(IndependenceTester, UniformJointIsAccepted) {
+  // Uniform over the grid IS a product (uniform x uniform).
+  const std::uint64_t n = 16;
+  const double eps = 0.8;
+  const unsigned m = IndependenceTester::sufficient_m(n, n, eps, 6.0);
+  const IndependenceTester tester(n, n, eps, m);
+  const JointPairSource source(DiscreteDistribution::uniform(n * n), n, n);
+  SuccessCounter ok;
+  for (int t = 0; t < 100; ++t) {
+    Rng rng = make_rng(8, t);
+    ok.record(tester.run(source, rng));
+  }
+  EXPECT_GE(ok.rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace duti

@@ -1,0 +1,111 @@
+#include "fourier/level_inequality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fourier/families.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+namespace {
+
+TEST(KklBound, FormulaSpotChecks) {
+  // delta^{-r} mu^{2/(1+delta)}
+  EXPECT_NEAR(kkl_level_bound(0.25, 1, 1.0), 1.0 * 0.25, 1e-12);
+  EXPECT_NEAR(kkl_level_bound(0.5, 2, 0.5),
+              std::pow(0.5, -2.0) * std::pow(0.5, 2.0 / 1.5), 1e-12);
+  EXPECT_DOUBLE_EQ(kkl_level_bound(0.0, 3, 0.5), 0.0);
+}
+
+TEST(KklBound, ArgumentValidation) {
+  EXPECT_THROW((void)kkl_level_bound(-0.1, 1, 0.5), InvalidArgument);
+  EXPECT_THROW((void)kkl_level_bound(0.5, 1, 0.0), InvalidArgument);
+  EXPECT_THROW((void)kkl_level_bound(0.5, 1, 1.5), InvalidArgument);
+}
+
+TEST(KklBound, OptimizedIsNoWorseThanFixedDeltas) {
+  for (double mu : {0.01, 0.1, 0.3}) {
+    for (unsigned r : {1u, 2u, 4u}) {
+      const double best = kkl_level_bound_optimized(mu, r);
+      for (double delta : {0.1, 0.3, 0.5, 0.9, 1.0}) {
+        EXPECT_LE(best, kkl_level_bound(mu, r, delta) * (1.0 + 1e-6))
+            << "mu=" << mu << " r=" << r << " delta=" << delta;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The inequality itself (Lemma 5.4): checked on concrete function families
+// and random functions, across levels and delta values.
+// ---------------------------------------------------------------------------
+
+class KklHoldsTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>> {};
+
+TEST_P(KklHoldsTest, HoldsForBiasedAnds) {
+  const auto [r, delta] = GetParam();
+  // AND of w variables has mean 2^{-w}: the canonical biased function the
+  // AND-rule lower bound exploits.
+  for (unsigned w = 1; w <= 6; ++w) {
+    const auto f = fn::and_of(8, (1ULL << w) - 1);
+    EXPECT_LE(kkl_violation(f, r, delta), 1e-9)
+        << "w=" << w << " r=" << r << " delta=" << delta;
+  }
+}
+
+TEST_P(KklHoldsTest, HoldsForTribesAndThresholds) {
+  const auto [r, delta] = GetParam();
+  EXPECT_LE(kkl_violation(fn::tribes(8, 4), r, delta), 1e-9);
+  for (unsigned t = 1; t <= 8; ++t) {
+    EXPECT_LE(kkl_violation(fn::threshold_at_least(8, t), r, delta), 1e-9);
+  }
+}
+
+TEST_P(KklHoldsTest, HoldsForRandomFunctions) {
+  const auto [r, delta] = GetParam();
+  Rng rng(derive_seed(42, r, static_cast<std::uint64_t>(delta * 100)));
+  for (double p : {0.02, 0.1, 0.5, 0.9}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto f = fn::random_boolean(7, p, rng);
+      EXPECT_LE(kkl_violation(f, r, delta), 1e-9)
+          << "p=" << p << " r=" << r << " delta=" << delta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelsAndDeltas, KklHoldsTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),
+                       ::testing::Values(0.2, 0.5, 0.8, 1.0)));
+
+TEST(LevelWeightUpTo, MatchesManualSum) {
+  Rng rng(7);
+  const auto f = fn::random_boolean(6, 0.3, rng);
+  double manual = 0.0;
+  for (unsigned level = 0; level <= 2; ++level) {
+    manual += f.level_weight(level);
+  }
+  EXPECT_NEAR(level_weight_up_to(f, 2), manual, 1e-12);
+}
+
+TEST(KklViolation, RequiresBooleanFunction) {
+  Rng rng(8);
+  const auto f = fn::random_real(4, 0.0, 0.9, rng);
+  EXPECT_THROW((void)kkl_violation(f, 1, 0.5), InvalidArgument);
+}
+
+TEST(KklBound, TightnessTrend) {
+  // For small mu the bound at low level should be much smaller than the
+  // trivial bound mu (which is all the Fourier weight there is): this is
+  // exactly why biased bits carry little low-level information.
+  const double mu = 1e-3;
+  const double bound = kkl_level_bound_optimized(mu, 1);
+  EXPECT_LT(bound, mu);
+}
+
+}  // namespace
+}  // namespace duti

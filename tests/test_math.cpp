@@ -1,0 +1,153 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+TEST(DoubleFactorial, SmallValues) {
+  EXPECT_EQ(double_factorial(-1), 1u);
+  EXPECT_EQ(double_factorial(0), 1u);
+  EXPECT_EQ(double_factorial(1), 1u);
+  EXPECT_EQ(double_factorial(2), 2u);
+  EXPECT_EQ(double_factorial(3), 3u);
+  EXPECT_EQ(double_factorial(4), 8u);
+  EXPECT_EQ(double_factorial(5), 15u);
+  EXPECT_EQ(double_factorial(7), 105u);
+  EXPECT_EQ(double_factorial(9), 945u);
+  EXPECT_EQ(double_factorial(10), 3840u);
+}
+
+TEST(DoubleFactorial, MatchesLogVersion) {
+  for (int n = 1; n <= 25; ++n) {
+    EXPECT_NEAR(std::log(static_cast<double>(double_factorial(n))),
+                log_double_factorial(n), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(DoubleFactorial, OverflowThrows) {
+  EXPECT_THROW((void)double_factorial(101), InvalidArgument);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, OutOfRangeIsZero) {
+  EXPECT_EQ(binomial(5, 6), 0u);
+  EXPECT_EQ(binomial(5, -1), 0u);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (int n = 2; n <= 30; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(LogBinomial, MatchesExact) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_binomial(n, k),
+                  std::log(static_cast<double>(binomial(n, k))), 1e-8);
+    }
+  }
+}
+
+TEST(LogBinomial, OutOfRangeIsMinusInfinity) {
+  EXPECT_EQ(log_binomial(5, 6), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Ipow, Basics) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 4), 81u);
+  EXPECT_EQ(ipow(10, 19), 10000000000000000000ULL);
+}
+
+TEST(Ipow, OverflowThrows) { EXPECT_THROW((void)ipow(10, 20), InvalidArgument); }
+
+TEST(DpowInt, MatchesStdPow) {
+  for (double base : {0.5, 1.5, 2.0, 3.7}) {
+    for (unsigned e = 0; e <= 20; ++e) {
+      EXPECT_NEAR(dpow_int(base, e), std::pow(base, e),
+                  1e-9 * std::pow(base, e));
+    }
+  }
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+  EXPECT_TRUE(approx_equal(0.0, 1e-12));
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+}
+
+TEST(FitLine, DegenerateThrows) {
+  EXPECT_THROW((void)fit_line({1.0, 1.0}, {2.0, 3.0}), InvalidArgument);
+  EXPECT_THROW((void)fit_line({1.0}, {2.0}), InvalidArgument);
+}
+
+TEST(FitPowerLaw, ExactPowerLaw) {
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -0.5));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, -0.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  EXPECT_THROW((void)fit_power_law({1.0, -2.0}, {1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW((void)fit_power_law({1.0, 2.0}, {0.0, 1.0}), InvalidArgument);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_THROW((void)median({}), InvalidArgument);
+}
+
+TEST(MeanAndVariance, Basics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(sample_variance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)mean({}), InvalidArgument);
+  EXPECT_THROW((void)sample_variance({1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace duti

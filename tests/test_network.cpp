@@ -1,0 +1,255 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+TEST(Network, ConstructionAndEdges) {
+  Network net(4);
+  EXPECT_EQ(net.num_nodes(), 4u);
+  EXPECT_FALSE(net.has_edge(0, 1));
+  net.add_edge(0, 1);
+  EXPECT_TRUE(net.has_edge(0, 1));
+  EXPECT_FALSE(net.has_edge(1, 0));  // directed
+  EXPECT_THROW(net.add_edge(0, 0), InvalidArgument);
+  EXPECT_THROW(net.add_edge(0, 9), InvalidArgument);
+}
+
+TEST(Network, StarTopology) {
+  Network net(5);
+  net.add_star(0);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_TRUE(net.has_edge(v, 0));
+    EXPECT_TRUE(net.has_edge(0, v));
+  }
+  EXPECT_FALSE(net.has_edge(1, 2));
+}
+
+TEST(Network, CompleteTopology) {
+  Network net(4);
+  net.add_complete();
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_EQ(net.has_edge(u, v), u != v);
+    }
+  }
+}
+
+TEST(Network, MissingBehaviorThrows) {
+  Network net(2);
+  net.set_behavior(0, [](RoundContext& ctx) { ctx.halt(); });
+  Rng rng(1);
+  EXPECT_THROW(net.run(rng), Error);
+}
+
+TEST(Network, HaltsWhenAllNodesHalt) {
+  Network net(3);
+  for (NodeId v = 0; v < 3; ++v) {
+    net.set_behavior(v, [](RoundContext& ctx) {
+      if (ctx.round() >= 2) ctx.halt();
+    });
+  }
+  Rng rng(2);
+  const auto stats = net.run(rng, 100);
+  EXPECT_EQ(stats.rounds_executed, 3u);  // rounds 0,1,2
+}
+
+TEST(Network, MaxRoundsCapsExecution) {
+  Network net(1);
+  net.set_behavior(0, [](RoundContext&) { /* never halts */ });
+  Rng rng(3);
+  const auto stats = net.run(rng, 7);
+  EXPECT_EQ(stats.rounds_executed, 7u);
+}
+
+TEST(Network, StarVoteAggregation) {
+  // Leaves send their id+10 to the center in round 0; center sums in
+  // round 1. End-to-end single-round aggregation — the referee pattern.
+  Network net(4);
+  net.add_star(0);
+  std::uint64_t total_received = 0;
+  net.set_behavior(0, [&total_received](RoundContext& ctx) {
+    for (const auto& m : ctx.inbox()) {
+      total_received += m.payload.at(0);
+    }
+    if (ctx.round() >= 1) ctx.halt();
+  });
+  for (NodeId v = 1; v < 4; ++v) {
+    net.set_behavior(v, [](RoundContext& ctx) {
+      ctx.send(0, {ctx.id() + 10ULL}, 8);
+      ctx.halt();
+    });
+  }
+  Rng rng(4);
+  const auto stats = net.run(rng);
+  EXPECT_EQ(total_received, 11u + 12u + 13u);
+  EXPECT_EQ(stats.messages_sent, 3u);
+  EXPECT_EQ(stats.bits_sent, 24u);
+}
+
+TEST(Network, SendingAlongNonEdgeThrows) {
+  Network net(3);
+  net.add_edge(0, 1);
+  net.set_behavior(0, [](RoundContext& ctx) {
+    ctx.send(2, {1}, 1);  // no edge 0 -> 2
+    ctx.halt();
+  });
+  net.set_behavior(1, [](RoundContext& ctx) { ctx.halt(); });
+  net.set_behavior(2, [](RoundContext& ctx) { ctx.halt(); });
+  Rng rng(5);
+  EXPECT_THROW(net.run(rng), InvalidArgument);
+}
+
+TEST(Network, MessagesDeliveredNextRound) {
+  Network net(2);
+  net.add_edge(0, 1);
+  unsigned delivery_round = 0;
+  net.set_behavior(0, [](RoundContext& ctx) {
+    if (ctx.round() == 0) ctx.send(1, {99}, 7);
+    if (ctx.round() >= 1) ctx.halt();
+  });
+  net.set_behavior(1, [&delivery_round](RoundContext& ctx) {
+    if (!ctx.inbox().empty()) {
+      delivery_round = ctx.round();
+      EXPECT_EQ(ctx.inbox()[0].payload.at(0), 99u);
+      EXPECT_EQ(ctx.inbox()[0].from, 0u);
+      ctx.halt();
+    }
+  });
+  Rng rng(6);
+  net.run(rng);
+  EXPECT_EQ(delivery_round, 1u);
+}
+
+TEST(Network, HaltedNodesStopParticipating) {
+  Network net(2);
+  net.add_edge(0, 1);
+  int rounds_active = 0;
+  net.set_behavior(0, [&rounds_active](RoundContext& ctx) {
+    ++rounds_active;
+    ctx.halt();
+  });
+  net.set_behavior(1, [](RoundContext& ctx) {
+    if (ctx.round() >= 3) ctx.halt();
+  });
+  Rng rng(7);
+  net.run(rng);
+  EXPECT_EQ(rounds_active, 1);
+}
+
+TEST(Network, DropFaultLosesMessages) {
+  Network net(2);
+  net.add_edge(0, 1);
+  net.set_link_fault(0, 1, {1.0, 0.0});  // drop everything
+  int received = 0;
+  net.set_behavior(0, [](RoundContext& ctx) {
+    ctx.send(1, {42}, 8);
+    ctx.halt();
+  });
+  net.set_behavior(1, [&received](RoundContext& ctx) {
+    received += static_cast<int>(ctx.inbox().size());
+    if (ctx.round() >= 1) ctx.halt();
+  });
+  Rng rng(31);
+  const auto stats = net.run(rng);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(stats.messages_dropped, 1u);
+  EXPECT_EQ(stats.messages_sent, 1u);  // sending is still charged
+}
+
+TEST(Network, CorruptFaultFlipsLowBit) {
+  Network net(2);
+  net.add_edge(0, 1);
+  net.set_link_fault(0, 1, {0.0, 1.0});  // corrupt everything
+  std::uint64_t received_value = 0;
+  net.set_behavior(0, [](RoundContext& ctx) {
+    ctx.send(1, {42}, 8);
+    ctx.halt();
+  });
+  net.set_behavior(1, [&received_value](RoundContext& ctx) {
+    for (const auto& m : ctx.inbox()) received_value = m.payload.at(0);
+    if (ctx.round() >= 1) ctx.halt();
+  });
+  Rng rng(32);
+  const auto stats = net.run(rng);
+  EXPECT_EQ(received_value, 43u);  // low bit flipped
+  EXPECT_EQ(stats.messages_corrupted, 1u);
+}
+
+TEST(Network, PartialDropRateIsRespected) {
+  Network net(2);
+  net.add_edge(0, 1);
+  net.set_default_fault({0.3, 0.0});
+  int received = 0, sent = 0;
+  net.set_behavior(0, [&sent](RoundContext& ctx) {
+    if (ctx.round() < 500) {
+      ctx.send(1, {1}, 1);
+      ++sent;
+    } else {
+      ctx.halt();
+    }
+  });
+  net.set_behavior(1, [&received](RoundContext& ctx) {
+    received += static_cast<int>(ctx.inbox().size());
+    if (ctx.round() >= 501) ctx.halt();
+  });
+  Rng rng(33);
+  net.run(rng, 600);
+  EXPECT_NEAR(static_cast<double>(received) / sent, 0.7, 0.07);
+}
+
+TEST(Network, FaultValidation) {
+  Network net(2);
+  net.add_edge(0, 1);
+  EXPECT_THROW(net.set_link_fault(1, 0, {0.5, 0.0}), InvalidArgument);
+  EXPECT_THROW(net.set_link_fault(0, 1, {1.5, 0.0}), InvalidArgument);
+  EXPECT_THROW(net.set_default_fault({0.0, -0.1}), InvalidArgument);
+}
+
+TEST(Network, FaultyRunsReplayDeterministically) {
+  auto run_once = [](std::uint64_t seed) {
+    Network net(2);
+    net.add_edge(0, 1);
+    net.set_default_fault({0.5, 0.0});
+    int received = 0;
+    net.set_behavior(0, [](RoundContext& ctx) {
+      if (ctx.round() < 50) {
+        ctx.send(1, {1}, 1);
+      } else {
+        ctx.halt();
+      }
+    });
+    net.set_behavior(1, [&received](RoundContext& ctx) {
+      received += static_cast<int>(ctx.inbox().size());
+      if (ctx.round() >= 51) ctx.halt();
+    });
+    Rng rng(seed);
+    net.run(rng, 100);
+    return received;
+  };
+  EXPECT_EQ(run_once(34), run_once(34));
+}
+
+TEST(Network, PerNodeRngIsDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    Network net(2);
+    net.add_edge(0, 1);
+    std::uint64_t observed = 0;
+    net.set_behavior(0, [&observed](RoundContext& ctx) {
+      observed = ctx.rng()();
+      ctx.halt();
+    });
+    net.set_behavior(1, [](RoundContext& ctx) { ctx.halt(); });
+    Rng rng(seed);
+    net.run(rng);
+    return observed;
+  };
+  EXPECT_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+}  // namespace
+}  // namespace duti

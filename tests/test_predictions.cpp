@@ -1,0 +1,135 @@
+#include "core/predictions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+TEST(Predict, CentralizedScaling) {
+  EXPECT_NEAR(predict::centralized_q(1e6, 0.5), 1000.0 / 0.25, 1e-9);
+  EXPECT_NEAR(predict::centralized_q(1e6, 0.5, 2.0), 2.0 * 4000.0, 1e-9);
+  // Quadrupling n doubles q; halving eps quadruples q.
+  EXPECT_NEAR(predict::centralized_q(4e6, 0.5) / predict::centralized_q(1e6, 0.5),
+              2.0, 1e-9);
+  EXPECT_NEAR(
+      predict::centralized_q(1e6, 0.25) / predict::centralized_q(1e6, 0.5),
+      4.0, 1e-9);
+}
+
+TEST(Predict, Thm11MinBranchCrossoverAtKEqualsN) {
+  const double n = 4096.0, eps = 0.5;
+  // k < n: sqrt branch; k > n: linear branch.
+  EXPECT_NEAR(predict::thm11_any_rule_q(n, 64.0, eps),
+              std::sqrt(n / 64.0) / 0.25, 1e-9);
+  EXPECT_NEAR(predict::thm11_any_rule_q(n, 4.0 * n, eps), 0.25 / 0.25, 1e-9);
+  // At k = n both branches agree.
+  EXPECT_NEAR(predict::thm11_any_rule_q(n, n, eps),
+              1.0 / (eps * eps), 1e-9);
+}
+
+TEST(Predict, Thm11DecreasesInK) {
+  double prev = 1e18;
+  for (double k = 1.0; k <= 1e7; k *= 4.0) {
+    const double q = predict::thm11_any_rule_q(1e6, k, 0.3);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Predict, Thm64MultibitEquivalence) {
+  // r bits act exactly like 2^r times more players.
+  EXPECT_NEAR(predict::thm64_multibit_q(1e6, 16.0, 0.3, 4),
+              predict::thm11_any_rule_q(1e6, 256.0, 0.3), 1e-9);
+  EXPECT_NEAR(predict::thm64_multibit_q(1e6, 16.0, 0.3, 0),
+              predict::thm11_any_rule_q(1e6, 16.0, 0.3), 1e-9);
+}
+
+TEST(Predict, AndRuleOnlyPolylogGain) {
+  const double n = 1e8, eps = 0.25;
+  const double q_small_k = predict::thm12_and_rule_q(n, 4.0, eps);
+  const double q_big_k = predict::thm12_and_rule_q(n, 4096.0, eps);
+  // Gain from 1024x more players is only (log 4096 / log 4)^2 = 36.
+  EXPECT_NEAR(q_small_k / q_big_k, 36.0, 1e-6);
+  // Compare: any-rule gains sqrt(1024) = 32 with the SAME bound shape but
+  // keeps improving forever, while AND stalls; at huge k any-rule is far
+  // cheaper.
+  EXPECT_LT(predict::thm11_any_rule_q(n, 1e6, eps),
+            predict::thm12_and_rule_q(n, 1e6, eps));
+}
+
+TEST(Predict, ThresholdRuleScalesInverselyWithT) {
+  const double n = 1e8, k = 100.0, eps = 0.2;
+  const double q1 = predict::thm13_threshold_q(n, k, eps, 1.0);
+  const double q4 = predict::thm13_threshold_q(n, k, eps, 4.0);
+  EXPECT_NEAR(q1 / q4, 4.0, 1e-9);
+}
+
+TEST(Predict, ThresholdApplicabilityWindow) {
+  const double n = 1e8, eps = 0.2;
+  // k must be <= sqrt(n).
+  EXPECT_FALSE(predict::thm13_threshold_applies(n, 2e4, eps, 1.0));
+  // T must be below c/(eps^2 log^2(k/eps)); the paper leaves c unspecified,
+  // so pass one wide enough for the small-T case.
+  EXPECT_TRUE(predict::thm13_threshold_applies(n, 100.0, eps, 1.0, 10.0));
+  EXPECT_FALSE(predict::thm13_threshold_applies(n, 100.0, eps, 1e6, 10.0));
+}
+
+TEST(Predict, LearningLowerBound) {
+  EXPECT_NEAR(predict::thm14_learning_k(1000.0, 10.0), 10000.0, 1e-9);
+  // Doubling q quarters the required k.
+  EXPECT_NEAR(predict::thm14_learning_k(1000.0, 20.0) /
+                  predict::thm14_learning_k(1000.0, 10.0),
+              0.25, 1e-12);
+}
+
+TEST(Predict, FmoTesterComparison) {
+  const double n = 1e8, eps = 0.25;
+  // The FMO threshold tester beats the FMO AND tester for moderate k.
+  for (double k : {16.0, 256.0, 4096.0}) {
+    EXPECT_LT(predict::fmo_threshold_tester_q(n, k, eps),
+              predict::fmo_and_tester_q(n, k, eps));
+  }
+  // AND tester's k-gain is k^{eps^2}: minuscule for small eps.
+  const double gain = predict::fmo_and_tester_q(n, 1.0, eps) /
+                      predict::fmo_and_tester_q(n, 1024.0, eps);
+  EXPECT_NEAR(gain, std::pow(1024.0, eps * eps), 1e-9);
+}
+
+TEST(Predict, AsymmetricTauMatchesSymmetricCase) {
+  // All rates 1: tau = sqrt(n)/(eps^2 sqrt(k)) — the symmetric bound.
+  const std::vector<double> rates(16, 1.0);
+  EXPECT_NEAR(predict::asymmetric_tau(1e6, 0.5, rates),
+              std::sqrt(1e6) / (0.25 * 4.0), 1e-9);
+}
+
+TEST(Predict, AsymmetricTauDominatedByFastPlayers) {
+  // One rate-10 player among rate-1 players: ||T||_2 ~ 10.2.
+  std::vector<double> rates(4, 1.0);
+  rates.push_back(10.0);
+  const double norm = std::sqrt(104.0);
+  EXPECT_NEAR(predict::asymmetric_tau(1e4, 0.5, rates),
+              100.0 / (0.25 * norm), 1e-9);
+}
+
+TEST(Predict, SingleSampleNodeCount) {
+  // k = n / (2^{r/2} eps^2); r=2 halves the nodes vs r=0.
+  EXPECT_NEAR(predict::act_single_sample_k(1e6, 0.5, 2) /
+                  predict::act_single_sample_k(1e6, 0.5, 0),
+              0.5, 1e-9);
+}
+
+TEST(Predict, ArgumentValidation) {
+  EXPECT_THROW((void)predict::centralized_q(1.0, 0.5), InvalidArgument);
+  EXPECT_THROW((void)predict::centralized_q(100.0, 0.0), InvalidArgument);
+  EXPECT_THROW((void)predict::thm12_and_rule_q(100.0, 1.0, 0.5), InvalidArgument);
+  EXPECT_THROW((void)predict::asymmetric_tau(100.0, 0.5, {}), InvalidArgument);
+  EXPECT_THROW((void)predict::asymmetric_tau(100.0, 0.5, {1.0, -1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace duti

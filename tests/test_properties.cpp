@@ -1,0 +1,186 @@
+// Cross-cutting property tests: randomized sweeps of the analytic
+// invariants the library's correctness rests on, beyond the per-component
+// suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/divergence.hpp"
+#include "dist/generators.hpp"
+#include "fourier/boolean_function.hpp"
+#include "fourier/evenly_covered.hpp"
+#include "fourier/families.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+namespace {
+
+DiscreteDistribution random_distribution(std::size_t n, Rng& rng) {
+  std::vector<double> pmf(n);
+  double total = 0.0;
+  for (auto& p : pmf) {
+    p = 0.05 + rng.next_double();
+    total += p;
+  }
+  for (auto& p : pmf) p /= total;
+  return DiscreteDistribution(std::move(pmf));
+}
+
+class RandomDistributionPair : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDistributionPair, MetricAndDivergenceInequalities) {
+  Rng rng(derive_seed(7001, GetParam()));
+  const auto p = random_distribution(16, rng);
+  const auto q = random_distribution(16, rng);
+  const double l1 = p.l1_distance(q);
+  const double tv = p.tv_distance(q);
+  const double kl_bits = p.kl_divergence(q);
+
+  // Ranges.
+  EXPECT_GE(l1, 0.0);
+  EXPECT_LE(l1, 2.0);
+  EXPECT_NEAR(tv, 0.5 * l1, 1e-12);
+  EXPECT_GE(kl_bits, 0.0);  // Gibbs
+
+  // Pinsker: tv <= sqrt(KL_nats / 2).
+  const double kl_nats = kl_bits * std::log(2.0);
+  EXPECT_LE(tv, std::sqrt(kl_nats / 2.0) + 1e-12);
+
+  // KL <= chi2 / ln 2 (the Fact 6.3 generalization to full pmfs).
+  EXPECT_LE(kl_bits, p.chi2_divergence(q) / std::log(2.0) + 1e-12);
+
+  // l2 <= l1 <= sqrt(n) l2 (norm equivalences on R^n).
+  const double l2 = p.l2_distance(q);
+  EXPECT_LE(l2, l1 + 1e-12);
+  EXPECT_LE(l1, std::sqrt(16.0) * l2 + 1e-12);
+}
+
+TEST_P(RandomDistributionPair, MixtureGeometry) {
+  Rng rng(derive_seed(7002, GetParam()));
+  const auto p = random_distribution(12, rng);
+  const auto q = random_distribution(12, rng);
+  const double w = rng.next_double();
+  const auto mixed = p.mix(q, w);
+  // l1(mix, q) = (1-w) l1(p, q): the segment geometry of the simplex.
+  EXPECT_NEAR(mixed.l1_distance(q), (1.0 - w) * p.l1_distance(q), 1e-10);
+  // Entropy is concave: H(mix) >= (1-w) H(p) + w H(q).
+  EXPECT_GE(mixed.entropy() + 1e-10,
+            (1.0 - w) * p.entropy() + w * q.entropy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomDistributionPair,
+                         ::testing::Range(0, 12));
+
+class RandomFunctionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFunctionSweep, WhtLinearityAndPlancherel) {
+  Rng rng(derive_seed(7003, GetParam()));
+  const unsigned m = 6;
+  const auto f = fn::random_real(m, -1.0, 1.0, rng);
+  const auto g = fn::random_real(m, -1.0, 1.0, rng);
+  // Plancherel: <f, g> = sum f_hat(S) g_hat(S).
+  double inner = 0.0;
+  for (std::uint64_t x = 0; x < f.domain_size(); ++x) {
+    inner += f.value(x) * g.value(x);
+  }
+  inner /= static_cast<double>(f.domain_size());
+  double coeff_inner = 0.0;
+  const auto& fc = f.fourier();
+  const auto& gc = g.fourier();
+  for (std::size_t s = 0; s < fc.size(); ++s) coeff_inner += fc[s] * gc[s];
+  EXPECT_NEAR(inner, coeff_inner, 1e-10);
+
+  // Linearity: (a f + b g)_hat = a f_hat + b g_hat.
+  const double a = rng.next_double() * 2.0 - 1.0;
+  const double b = rng.next_double() * 2.0 - 1.0;
+  std::vector<double> combo(f.domain_size());
+  for (std::uint64_t x = 0; x < combo.size(); ++x) {
+    combo[x] = a * f.value(x) + b * g.value(x);
+  }
+  const BooleanCubeFunction h(std::move(combo));
+  const auto& hc = h.fourier();
+  for (std::size_t s = 0; s < hc.size(); ++s) {
+    ASSERT_NEAR(hc[s], a * fc[s] + b * gc[s], 1e-10);
+  }
+}
+
+TEST_P(RandomFunctionSweep, RestrictionReducesVarianceOnAverage) {
+  // E_assignment[var(f restricted)] <= var(f): conditioning cannot add
+  // variance on average (law of total variance).
+  Rng rng(derive_seed(7004, GetParam()));
+  const unsigned m = 6;
+  const auto f = fn::random_real(m, 0.0, 1.0, rng);
+  const std::uint64_t fixed_mask = 0b110;
+  double avg_var = 0.0;
+  int count = 0;
+  for (std::uint64_t a = 0; a < f.domain_size(); ++a) {
+    if ((a & ~fixed_mask) != 0) continue;
+    avg_var += f.restrict_vars(fixed_mask, a).variance();
+    ++count;
+  }
+  EXPECT_LE(avg_var / count, f.variance() + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomFunctionSweep, ::testing::Range(0, 8));
+
+TEST(EvenlyCoveredProperties, ArInvariantUnderPositionPermutation) {
+  Rng rng(7005);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> x(6);
+    for (auto& xi : x) xi = rng.next_below(4);
+    std::vector<std::uint64_t> shuffled = x;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+    for (unsigned r : {1u, 2u, 3u}) {
+      ASSERT_EQ(a_r(x, r), a_r(shuffled, r));
+    }
+  }
+}
+
+TEST(EvenlyCoveredProperties, ArMonotoneUnderMerging) {
+  // Replacing a value with a copy of another present value can only keep
+  // or increase the number of evenly covered sets of each size... not true
+  // in general; instead check the sound bound: a_r(x) <= C(q, 2r) always,
+  // with equality iff all values equal (for r = 1 on all-equal tuples).
+  Rng rng(7006);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> x(6);
+    for (auto& xi : x) xi = rng.next_below(3);
+    for (unsigned r : {1u, 2u, 3u}) {
+      ASSERT_LE(a_r(x, r), binomial(6, static_cast<int>(2 * r)));
+    }
+  }
+  const std::vector<std::uint64_t> all_same(6, 2);
+  EXPECT_EQ(a_r(all_same, 1), binomial(6, 2));
+}
+
+TEST(DivergenceProperties, KlBernoulliConvexityInAlpha) {
+  // D(B(alpha) || B(beta)) is convex in alpha: midpoint below chord.
+  for (double beta : {0.2, 0.5, 0.8}) {
+    for (double a1 = 0.1; a1 < 0.9; a1 += 0.2) {
+      const double a2 = a1 + 0.1;
+      const double mid = kl_bernoulli(0.5 * (a1 + a2), beta);
+      const double chord =
+          0.5 * (kl_bernoulli(a1, beta) + kl_bernoulli(a2, beta));
+      EXPECT_LE(mid, chord + 1e-12);
+    }
+  }
+}
+
+TEST(GeneratorProperties, FarFamiliesAreActuallyFar) {
+  // Every "far" generator must deliver at least its nominal distance; the
+  // whole experiment harness rests on this.
+  Rng rng(7007);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double eps = 0.1 + 0.8 * rng.next_double();
+    EXPECT_NEAR(gen::paninski(64, eps, rng).l1_from_uniform(), eps, 1e-12);
+    EXPECT_NEAR(gen::random_perturbation(64, eps, rng).l1_from_uniform(),
+                eps, 1e-12);
+    EXPECT_NEAR(gen::bimodal(64, eps).l1_from_uniform(), eps, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace duti

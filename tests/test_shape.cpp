@@ -1,0 +1,60 @@
+#include "stats/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+TEST(CompareShapes, PerfectMatchUpToConstant) {
+  std::vector<double> x, measured, predicted;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    predicted.push_back(std::pow(v, -0.5));
+    measured.push_back(3.7 * std::pow(v, -0.5));
+  }
+  const auto cmp = compare_shapes(x, measured, predicted);
+  EXPECT_NEAR(cmp.fitted_constant, 3.7, 1e-9);
+  EXPECT_NEAR(cmp.max_ratio_deviation, 1.0, 1e-9);
+  EXPECT_NEAR(cmp.measured_slope, -0.5, 1e-9);
+  EXPECT_NEAR(cmp.slope_gap, 0.0, 1e-9);
+}
+
+TEST(CompareShapes, DetectsSlopeMismatch) {
+  std::vector<double> x, measured, predicted;
+  for (double v : {1.0, 4.0, 16.0, 64.0}) {
+    x.push_back(v);
+    predicted.push_back(std::pow(v, -0.5));
+    measured.push_back(std::pow(v, -1.0));  // different exponent
+  }
+  const auto cmp = compare_shapes(x, measured, predicted);
+  EXPECT_NEAR(cmp.slope_gap, 0.5, 1e-9);
+  EXPECT_GT(cmp.max_ratio_deviation, 1.5);
+}
+
+TEST(CompareShapes, NoisyDataStaysNearFit) {
+  std::vector<double> x, measured, predicted;
+  for (int i = 1; i <= 8; ++i) {
+    const double v = std::pow(2.0, i);
+    x.push_back(v);
+    predicted.push_back(std::sqrt(v));
+    measured.push_back(2.0 * std::sqrt(v) * (i % 2 == 0 ? 1.1 : 0.9));
+  }
+  const auto cmp = compare_shapes(x, measured, predicted);
+  EXPECT_NEAR(cmp.fitted_constant, 2.0, 0.1);
+  EXPECT_LT(cmp.max_ratio_deviation, 1.15);
+}
+
+TEST(CompareShapes, Validation) {
+  EXPECT_THROW((void)compare_shapes({1.0}, {1.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW((void)compare_shapes({1.0, 2.0}, {1.0}, {1.0, 2.0}),
+               InvalidArgument);
+  EXPECT_THROW((void)compare_shapes({1.0, 2.0}, {1.0, -1.0}, {1.0, 2.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace duti

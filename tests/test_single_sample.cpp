@@ -1,0 +1,120 @@
+#include "testers/single_sample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dist/generators.hpp"
+#include "util/confidence.hpp"
+
+namespace duti {
+namespace {
+
+TEST(SharedHash, IsABijection) {
+  for (unsigned bits : {1u, 4u, 10u}) {
+    const SharedHash h(bits, 12345);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t x = 0; x < (1ULL << bits); ++x) {
+      const auto y = h.permute(x);
+      EXPECT_LT(y, 1ULL << bits);
+      images.insert(y);
+    }
+    EXPECT_EQ(images.size(), 1ULL << bits) << "bits=" << bits;
+  }
+}
+
+TEST(SharedHash, DifferentKeysGiveDifferentPermutations) {
+  const SharedHash h1(8, 1), h2(8, 2);
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    if (h1.permute(x) != h2.permute(x)) ++differing;
+  }
+  EXPECT_GT(differing, 200);
+}
+
+TEST(SharedHash, BucketsExactlyBalanced) {
+  // Top-r bits of a bijection partition the domain into equal buckets.
+  const unsigned bits = 10, r = 3;
+  const SharedHash h(bits, 99);
+  std::vector<int> counts(1 << r, 0);
+  for (std::uint64_t x = 0; x < (1ULL << bits); ++x) {
+    ++counts[h.bucket(x, r)];
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 1 << (bits - r));
+  }
+}
+
+TEST(SingleSampleHashTester, ConfigValidation) {
+  EXPECT_THROW(SingleSampleHashTester({100, 50, 0.5, 2}, 1), InvalidArgument);
+  EXPECT_THROW(SingleSampleHashTester({128, 1, 0.5, 2}, 1), InvalidArgument);
+  EXPECT_THROW(SingleSampleHashTester({128, 50, 0.5, 8}, 1),
+               InvalidArgument);  // r > log2(n)
+  EXPECT_NO_THROW(SingleSampleHashTester({128, 50, 0.5, 7}, 1));
+}
+
+TEST(SingleSampleHashTester, AcceptsUniform) {
+  const std::uint64_t n = 1 << 10;
+  const SingleSampleHashTester tester({n, 400, 0.5, 5}, /*seed=*/7);
+  const UniformSource uniform(n);
+  SuccessCounter ok;
+  for (int t = 0; t < 200; ++t) {
+    Rng rng = make_rng(11, t);
+    ok.record(tester.run(uniform, rng));
+  }
+  EXPECT_GE(ok.rate(), 0.7);
+}
+
+TEST(SingleSampleHashTester, RejectsFarWithEnoughNodes) {
+  // k ~ 4 n / (2^{r/2} eps^2) nodes: the ACT regime. Use full-rate r =
+  // log2(n) so hashing loses nothing, eps = 1 (maximally far family).
+  const std::uint64_t n = 1 << 8;
+  const unsigned r = 8;
+  const double eps = 1.0;
+  const std::uint64_t k = 4 * 256 / 16;  // 4n/(2^{r/2} eps^2) = 64
+  SuccessCounter uniform_ok, far_ok;
+  const UniformSource uniform(n);
+  for (int t = 0; t < 200; ++t) {
+    // Fresh shared hash AND fresh far distribution per trial.
+    const SingleSampleHashTester tester({n, k, eps, r},
+                                        derive_seed(13, t));
+    Rng u_rng = make_rng(14, t);
+    uniform_ok.record(tester.run(uniform, u_rng));
+    Rng far_rng = make_rng(15, t);
+    const DistributionSource far(gen::paninski(n, eps, far_rng));
+    Rng run_rng = make_rng(16, t);
+    far_ok.record(!tester.run(far, run_rng));
+  }
+  EXPECT_GE(uniform_ok.rate(), 0.7);
+  EXPECT_GE(far_ok.rate(), 0.6);
+}
+
+TEST(SingleSampleHashTester, FailsWithFarTooFewNodes) {
+  const std::uint64_t n = 1 << 12;
+  const SingleSampleHashTester tester({n, 8, 0.5, 4}, 17);
+  SuccessCounter far_reject;
+  for (int t = 0; t < 200; ++t) {
+    Rng far_rng = make_rng(18, t);
+    const DistributionSource far(gen::paninski(n, 0.5, far_rng));
+    Rng run_rng = make_rng(19, t);
+    far_reject.record(!tester.run(far, run_rng));
+  }
+  EXPECT_LE(far_reject.rate(), 0.45);
+}
+
+TEST(SingleSampleHashTester, RefereeDecisionFromBuckets) {
+  const SingleSampleHashTester tester({256, 10, 0.5, 4}, 21);
+  // All-distinct buckets: zero collisions, accept.
+  std::vector<std::uint64_t> distinct{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_TRUE(tester.referee_accept(distinct));
+  // All-same buckets: 45 collisions, way over threshold: reject.
+  std::vector<std::uint64_t> same(10, 3);
+  EXPECT_FALSE(tester.referee_accept(same));
+  // Wrong count throws.
+  std::vector<std::uint64_t> short_vec(5, 0);
+  EXPECT_THROW((void)tester.referee_accept(short_vec), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace duti

@@ -1,0 +1,79 @@
+#include "stats/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/generators.hpp"
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+TEST(Workloads, UniformFactory) {
+  const auto factory = workloads::uniform_factory(128);
+  Rng rng(1);
+  const auto source = factory(rng);
+  EXPECT_EQ(source->domain_size(), 128u);
+  EXPECT_DOUBLE_EQ(source->l1_from_uniform(), 0.0);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_LT(source->sample(rng), 128u);
+  }
+}
+
+TEST(Workloads, PaninskiFarFactoryFreshPerTrial) {
+  const auto factory = workloads::paninski_far_factory(64, 0.5);
+  Rng rng(2);
+  const auto a = factory(rng);
+  const auto b = factory(rng);
+  EXPECT_NEAR(a->l1_from_uniform(), 0.5, 1e-12);
+  EXPECT_NEAR(b->l1_from_uniform(), 0.5, 1e-12);
+  // Fresh perturbations: the underlying pmfs should differ.
+  const auto* da = dynamic_cast<const DistributionSource*>(a.get());
+  const auto* db = dynamic_cast<const DistributionSource*>(b.get());
+  ASSERT_NE(da, nullptr);
+  ASSERT_NE(db, nullptr);
+  EXPECT_GT(da->distribution().l1_distance(db->distribution()), 0.0);
+}
+
+TEST(Workloads, NuZFarFactory) {
+  const auto factory = workloads::nu_z_far_factory(5, 0.4);
+  Rng rng(3);
+  const auto source = factory(rng);
+  EXPECT_EQ(source->domain_size(), 64u);  // 2^{5+1}
+  EXPECT_DOUBLE_EQ(source->l1_from_uniform(), 0.4);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_LT(source->sample(rng), 64u);
+  }
+}
+
+TEST(Workloads, NuZFactoryScalesToLargeDomains) {
+  // O(1) per sample regardless of universe size.
+  const auto factory = workloads::nu_z_far_factory(24, 0.3);
+  Rng rng(4);
+  const auto source = factory(rng);
+  EXPECT_EQ(source->domain_size(), 1ULL << 25);
+  std::vector<std::uint64_t> samples;
+  source->sample_many(rng, 1000, samples);
+  EXPECT_EQ(samples.size(), 1000u);
+}
+
+TEST(Workloads, FixedFactoryReturnsSameDistribution) {
+  const auto dist = gen::zipf(32, 1.0);
+  const auto factory = workloads::fixed_factory(dist);
+  Rng rng(5);
+  const auto a = factory(rng);
+  const auto b = factory(rng);
+  const auto* da = dynamic_cast<const DistributionSource*>(a.get());
+  const auto* db = dynamic_cast<const DistributionSource*>(b.get());
+  ASSERT_NE(da, nullptr);
+  EXPECT_DOUBLE_EQ(da->distribution().l1_distance(db->distribution()), 0.0);
+}
+
+TEST(Workloads, Validation) {
+  EXPECT_THROW(workloads::uniform_factory(0), InvalidArgument);
+  EXPECT_THROW(workloads::paninski_far_factory(63, 0.5), InvalidArgument);
+  EXPECT_THROW(workloads::paninski_far_factory(64, 0.0), InvalidArgument);
+  EXPECT_THROW(workloads::nu_z_far_factory(0, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace duti
