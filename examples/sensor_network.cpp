@@ -16,11 +16,19 @@
 //                          Sample-optimal (Theorem 1.1) but every node
 //                          talks every epoch.
 //
+// A third section demonstrates graceful degradation on a multi-hop relay
+// grid: votes are convergecast to the base station over lossy links (10%
+// drop) with one crashed relay. The naive convergecast silently loses the
+// crashed relay's whole subtree; the ACK/retransmit convergecast re-parents
+// the orphaned relays and delivers every surviving vote, and its
+// degradation report says exactly what was lost.
+//
 //   ./sensor_network [--n=1024] [--sensors=32] [--eps=0.5] [--q=96]
 #include <iostream>
 
 #include "dist/generators.hpp"
 #include "sim/network.hpp"
+#include "sim/reliable.hpp"
 #include "testers/collision.hpp"
 #include "testers/distributed.hpp"
 #include "util/cli.hpp"
@@ -154,7 +162,104 @@ int main(int argc, char** argv) {
          "inherent: the AND rule needs ~sqrt(n)/eps^2 samples per sensor\n"
          "regardless of the network size, while the threshold deployment "
          "already works at sqrt(n/k)/eps^2.\n";
+  // --- Part 3: graceful degradation on a faulty multi-hop relay grid. ---
+  //
+  // 4x4 relay grid, base station at corner 0, the other 15 relays each
+  // hold a 1-bit verdict. Every link drops 10% of messages and relay 5
+  // (an interior router) is crashed. Votes travel to the base by
+  // convergecast: naively (fire and forget) or reliably (ACK/retransmit +
+  // re-parenting around the crash).
+  const std::uint32_t rows = 4, cols = 4;
+  const auto relays = static_cast<unsigned>(rows * cols - 1);
+  const double vote_bar = lambda;  // vote at the uniform collision mean
+  Rng grid_calib = make_rng(seed, 6);
+  const DistributedThresholdTester grid_recipe({n, relays, q, eps},
+                                               grid_calib);
+  const auto alarm_t = grid_recipe.referee_threshold();
+
+  auto votes_for = [&](const SampleSource& env, Rng& rng) {
+    std::vector<std::uint64_t> values(rows * cols, 0);
+    std::vector<std::uint64_t> readings;
+    for (NodeId s = 1; s < rows * cols; ++s) {
+      Rng sensor_rng = make_rng(rng(), s);
+      env.sample_many(sensor_rng, q, readings);
+      values[s] =
+          static_cast<double>(collision_pairs(readings)) > vote_bar ? 1 : 0;
+    }
+    return values;
+  };
+  auto make_faulty_grid = [&](Network& net) {
+    add_grid(net, rows, cols);
+    net.set_default_fault({0.10, 0.0});  // 10% drop on every link
+    net.schedule_crash(5, 0);            // one dead interior relay
+  };
+
+  SuccessCounter naive_detect, rel_detect, naive_false, rel_false;
+  std::uint64_t naive_grid_bits = 0, rel_grid_bits = 0;
+  ReliableConvergecastResult last_report;
+  for (int e = 0; e < epochs; ++e) {
+    auto one_epoch = [&](const SampleSource& env, std::uint64_t stream) {
+      Rng vote_rng = make_rng(seed, stream, e);
+      const auto values = votes_for(env, vote_rng);
+      Network net(rows * cols);
+      make_faulty_grid(net);
+      const auto tree = bfs_spanning_tree(net, 0);
+      Rng rel_rng = make_rng(seed, stream, e, 1);
+      const auto rel = convergecast_sum_reliable(net, tree, values, 8,
+                                                 rel_rng);
+      Network net2(rows * cols);
+      make_faulty_grid(net2);
+      Rng naive_rng = make_rng(seed, stream, e, 2);
+      const auto naive = convergecast_sum(net2, tree, values, 8, naive_rng);
+      rel_grid_bits += rel.stats.bits_sent;
+      naive_grid_bits += naive.stats.bits_sent;
+      return std::pair{naive.root_sum >= alarm_t, rel};
+    };
+    const auto [naive_h, rel_h] = one_epoch(healthy, 7);
+    naive_false.record(naive_h);
+    rel_false.record(rel_h.root_sum >= alarm_t);
+    Rng gen_rng = make_rng(seed, 8, e);
+    const DistributionSource anomaly(gen::paninski(n, eps, gen_rng));
+    const auto [naive_a, rel_a] = one_epoch(anomaly, 9);
+    naive_detect.record(naive_a);
+    rel_detect.record(rel_a.root_sum >= alarm_t);
+    last_report = rel_a;
+  }
+
+  std::cout << "\nrelay grid " << rows << "x" << cols
+            << ", 10% link drop, relay 5 crashed, alarm at >= " << alarm_t
+            << " of " << relays << " votes:\n";
+  Table degraded({"convergecast", "false-alarm rate", "detection rate",
+                  "bits/epoch"});
+  degraded.add_row({std::string("naive (fire-and-forget)"),
+                    naive_false.rate(), naive_detect.rate(),
+                    static_cast<double>(naive_grid_bits) / epochs});
+  degraded.add_row({std::string("reliable (ACK/retransmit)"),
+                    rel_false.rate(), rel_detect.rate(),
+                    static_cast<double>(rel_grid_bits) / epochs});
+  degraded.print(std::cout);
+
+  std::cout << "\ndegradation report (last anomalous epoch):\n"
+            << "  votes reached base   : " << last_report.values_reached
+            << " / " << last_report.values_total << " ("
+            << format_double(100.0 * last_report.delivery_fraction(), 3)
+            << "%)\n"
+            << "  votes lost (no route): " << last_report.values_lost
+            << "\n  re-parent events     : " << last_report.reparent_events
+            << "\n  retransmissions      : "
+            << last_report.transport.retransmissions
+            << "\n  overhead bits        : "
+            << last_report.transport.overhead_bits << " (payload "
+            << last_report.transport.payload_bits << ")\n"
+            << "\nThe naive convergecast silences the crashed relay's whole "
+               "subtree and every subtree\nbehind a dropped message; the "
+               "reliable one re-parents around the crash and loses\nonly the "
+               "dead relay's own vote — detection survives at a measured "
+               "bit premium.\n";
+
   const bool ok = ref_detect.rate() > local_detect.rate() &&
-                  ref_false.rate() < 1.0 / 3.0;
+                  ref_false.rate() < 1.0 / 3.0 &&
+                  rel_detect.rate() > naive_detect.rate() &&
+                  rel_false.rate() < 1.0 / 3.0;
   return ok ? 0 : 1;
 }

@@ -6,6 +6,12 @@
 // votes up a spanning tree — so the simulator supports arbitrary directed
 // topologies, per-round node behaviours, and exact message/bit accounting
 // (the CONGEST-style cost measure mentioned in the paper's related work).
+//
+// Fault model (the reliability assumptions the paper makes, broken on
+// purpose): per-link drops, full-width bit corruption, bounded delivery
+// delay, scheduled link outages; per-node crash-stop schedules and
+// Byzantine behaviour wrappers. All fault randomness derives from the run
+// RNG through dedicated streams, so faulty runs replay bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +59,10 @@ class RoundContext {
   void halt() noexcept { halted_ = true; }
   [[nodiscard]] bool halted() const noexcept { return halted_; }
 
+  /// Mutable view of the queued outgoing messages. Byzantine behaviour
+  /// wrappers use this to tamper with an honest node's output.
+  [[nodiscard]] std::vector<NetMessage>& outbox() noexcept { return outbox_; }
+
   [[nodiscard]] std::vector<NetMessage> take_outbox() noexcept {
     return std::move(outbox_);
   }
@@ -75,20 +85,63 @@ struct NetworkStats {
   std::uint64_t bits_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_corrupted = 0;
+  std::uint64_t messages_delayed = 0;         // deferred by a delay fault
+  std::uint64_t messages_lost_to_outage = 0;  // sent into an outage window
+  std::uint64_t messages_lost_to_halted = 0;  // delivered to a halted/crashed
+                                              // node (or undelivered at exit)
+  std::uint64_t nodes_crashed = 0;            // crash-stop faults that fired
+
+  /// Every sent message is either delivered or accounted to exactly one
+  /// loss bucket; audits check this balance.
+  [[nodiscard]] std::uint64_t messages_lost() const noexcept {
+    return messages_dropped + messages_lost_to_outage +
+           messages_lost_to_halted;
+  }
 };
 
-/// Fault model for a link: each traversing message is independently
-/// dropped with `drop_prob`; surviving messages have their first payload
-/// word bit-flipped (low bit) with `corrupt_prob`. Faults draw from a
-/// stream derived from the run RNG, so faulty runs replay exactly too.
+/// Fault model for a link. Each traversing message is independently:
+///  1. discarded outright if the send round falls in [outage_lo, outage_hi)
+///     (a scheduled link outage — deterministic, no randomness consumed);
+///  2. dropped with probability `drop_prob`;
+///  3. corrupted with probability `corrupt_prob` — a uniformly chosen bit
+///     inside the message's declared `bit_size` is flipped;
+///  4. delayed with probability `delay_prob` — delivery deferred by
+///     `delay_rounds` extra rounds.
+/// Faults draw from a stream derived from the run RNG, so faulty runs
+/// replay exactly too.
 struct LinkFault {
   double drop_prob = 0.0;
   double corrupt_prob = 0.0;
+  double delay_prob = 0.0;
+  unsigned delay_rounds = 1;
+  unsigned outage_lo = 0;  // outage window [outage_lo, outage_hi); empty
+  unsigned outage_hi = 0;  // when outage_lo >= outage_hi
 
   [[nodiscard]] bool is_clean() const noexcept {
-    return drop_prob == 0.0 && corrupt_prob == 0.0;
+    return drop_prob == 0.0 && corrupt_prob == 0.0 && delay_prob == 0.0 &&
+           outage_lo >= outage_hi;
+  }
+  [[nodiscard]] bool in_outage(unsigned round) const noexcept {
+    return round >= outage_lo && round < outage_hi;
   }
 };
+
+/// How a Byzantine wrapper tampers with an honest node's outgoing messages
+/// (the first payload word — the vote/verdict channel of every protocol
+/// here).
+enum class ByzantineMode {
+  kStuckAtZero,      // every outgoing word0 forced to 0 (always-accept)
+  kStuckAtOne,       // every outgoing word0 forced to 1 (stuck-on-alarm)
+  kRandomBit,        // word0 replaced by a fair coin
+  kAdversarialFlip,  // low bit of word0 inverted (vote negation)
+};
+
+/// Decorate a behaviour with Byzantine message tampering. The inner
+/// behaviour runs unmodified (same RNG stream), then every queued message
+/// is tampered with. Honest accounting: tampered messages are still
+/// charged at their declared bit size.
+[[nodiscard]] NodeBehavior make_byzantine(NodeBehavior inner,
+                                          ByzantineMode mode);
 
 class Network {
  public:
@@ -106,11 +159,21 @@ class Network {
   }
   [[nodiscard]] bool has_edge(NodeId from, NodeId to) const;
 
+  /// All v with an edge node -> v.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+
   void set_behavior(NodeId node, NodeBehavior behavior);
 
   /// Apply a fault model to one link (must be an edge) or to every link.
   void set_link_fault(NodeId from, NodeId to, LinkFault fault);
   void set_default_fault(LinkFault fault);
+
+  /// Crash-stop fault: the node stops executing at the start of `round`
+  /// (it never runs that round or any later one). Crashed nodes count as
+  /// halted for termination, and messages delivered to them are counted in
+  /// `messages_lost_to_halted`.
+  void schedule_crash(NodeId node, unsigned round);
+  void clear_crashes() noexcept { crash_schedule_.clear(); }
 
   /// Run until every node has halted or `max_rounds` elapse; returns stats.
   /// Throws Error if any node is missing a behavior.
@@ -123,6 +186,7 @@ class Network {
   std::vector<NodeBehavior> behaviors_;
   LinkFault default_fault_;
   std::map<std::pair<NodeId, NodeId>, LinkFault> link_faults_;
+  std::map<NodeId, unsigned> crash_schedule_;
 };
 
 }  // namespace duti

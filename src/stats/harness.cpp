@@ -37,6 +37,42 @@ ProbeResult probe_success(const TesterRun& tester,
   return out;
 }
 
+ProbeResult probe_success_ex(const TesterRunEx& tester,
+                             const SourceFactory& uniform_source,
+                             const SourceFactory& far_source,
+                             std::size_t trials, std::uint64_t seed) {
+  require(static_cast<bool>(tester), "probe_success_ex: null tester");
+  require(trials >= 1, "probe_success_ex: need at least one trial");
+  SuccessCounter uniform_accepts, far_rejects;
+  ProbeResult out;
+  for (std::size_t t = 0; t < trials; ++t) {
+    {
+      Rng rng = make_rng(seed, 0xF00DULL, t);
+      const auto source = uniform_source(rng);
+      Rng run_rng = make_rng(seed, 0xBEEFULL, t);
+      const RefereeOutcome o = tester(*source, run_rng);
+      uniform_accepts.record(o == RefereeOutcome::kAccept);
+      if (o == RefereeOutcome::kAbortQuorum) ++out.uniform_aborts_quorum;
+      if (o == RefereeOutcome::kAbortTimeout) ++out.uniform_aborts_timeout;
+    }
+    {
+      Rng rng = make_rng(seed, 0xFA5ULL, t);
+      const auto source = far_source(rng);
+      Rng run_rng = make_rng(seed, 0xCAFEULL, t);
+      const RefereeOutcome o = tester(*source, run_rng);
+      far_rejects.record(o == RefereeOutcome::kReject);
+      if (o == RefereeOutcome::kAbortQuorum) ++out.far_aborts_quorum;
+      if (o == RefereeOutcome::kAbortTimeout) ++out.far_aborts_timeout;
+    }
+  }
+  out.trials = trials;
+  out.uniform_accept_rate = uniform_accepts.rate();
+  out.far_reject_rate = far_rejects.rate();
+  out.uniform_ci = uniform_accepts.wilson();
+  out.far_ci = far_rejects.wilson();
+  return out;
+}
+
 MinSearchResult find_min_param(const ProbeFn& probe,
                                const MinSearchConfig& cfg) {
   require(static_cast<bool>(probe), "find_min_param: null probe");

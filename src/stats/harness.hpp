@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/sample_source.hpp"
+#include "testers/robust_rules.hpp"  // RefereeOutcome
 #include "util/confidence.hpp"
 #include "util/rng.hpp"
 
@@ -18,6 +19,10 @@ namespace duti {
 
 /// One tester execution: true = accept (the tester thinks "uniform").
 using TesterRun = std::function<bool(const SampleSource&, Rng&)>;
+
+/// Fault-aware tester execution: accept/reject/abort, with abort reasons
+/// (timeout, quorum-not-met) kept distinct from rejections.
+using TesterRunEx = std::function<RefereeOutcome(const SampleSource&, Rng&)>;
 
 /// Creates a fresh sample source per trial. For the far side this draws a
 /// NEW random far distribution each time (a fresh perturbation z — the
@@ -31,10 +36,20 @@ struct ProbeResult {
   Interval uniform_ci;
   Interval far_ci;
   std::uint64_t trials = 0;
+  // Abort attribution (filled by probe_success_ex; zero for the boolean
+  // probe). Aborted trials fail their side but are NOT rejections.
+  std::uint64_t uniform_aborts_quorum = 0;
+  std::uint64_t uniform_aborts_timeout = 0;
+  std::uint64_t far_aborts_quorum = 0;
+  std::uint64_t far_aborts_timeout = 0;
 
   /// Both sides at or above the target success probability.
   [[nodiscard]] bool passes(double target = 2.0 / 3.0) const {
     return uniform_accept_rate >= target && far_reject_rate >= target;
+  }
+  [[nodiscard]] std::uint64_t aborts() const noexcept {
+    return uniform_aborts_quorum + uniform_aborts_timeout +
+           far_aborts_quorum + far_aborts_timeout;
   }
 };
 
@@ -45,6 +60,14 @@ struct ProbeResult {
                                         const SourceFactory& far_source,
                                         std::size_t trials,
                                         std::uint64_t seed);
+
+/// Like probe_success, but the tester reports a full RefereeOutcome, so
+/// per-trial abort reasons are attributed instead of being conflated with
+/// rejections. Uses the same seed derivation as probe_success: a boolean
+/// tester and its _ex wrapping see identical sources and run streams.
+[[nodiscard]] ProbeResult probe_success_ex(
+    const TesterRunEx& tester, const SourceFactory& uniform_source,
+    const SourceFactory& far_source, std::size_t trials, std::uint64_t seed);
 
 struct MinSearchConfig {
   std::uint64_t lo = 2;          // smallest candidate value
