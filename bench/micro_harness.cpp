@@ -1,0 +1,182 @@
+// Perf baseline for the deterministic parallel measurement engine (ISSUE 2):
+// times serial vs thread-pooled probe_success on a representative threshold-
+// tester probe, and batched vs per-sample drawing, then emits
+// BENCH_harness.json (trials/sec per thread count, speedup vs 1 thread) so
+// later PRs can track the perf trajectory. Also asserts, at runtime, that
+// every thread count produced the bit-identical ProbeResult.
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dist/generators.hpp"
+#include "stats/workloads.hpp"
+#include "testers/fixed_threshold.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace duti;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool probe_equal(const ProbeResult& a, const ProbeResult& b) {
+  return a.uniform_accept_rate == b.uniform_accept_rate &&
+         a.far_reject_rate == b.far_reject_rate &&
+         a.uniform_ci.lo == b.uniform_ci.lo &&
+         a.uniform_ci.hi == b.uniform_ci.hi && a.far_ci.lo == b.far_ci.lo &&
+         a.far_ci.hi == b.far_ci.hi && a.trials == b.trials &&
+         a.aborts() == b.aborts();
+}
+
+// Forwards sample() but NOT sample_many: the pre-batching baseline, paying
+// one virtual dispatch per draw through the default sample_many loop.
+class ScalarOnlySource final : public SampleSource {
+ public:
+  explicit ScalarOnlySource(const SampleSource& inner) : inner_(inner) {}
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
+    return inner_.sample(rng);
+  }
+  [[nodiscard]] std::uint64_t domain_size() const override {
+    return inner_.domain_size();
+  }
+  [[nodiscard]] double l1_from_uniform() const override {
+    return inner_.l1_from_uniform();
+  }
+
+ private:
+  const SampleSource& inner_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << "micro_harness --trials=300 --n=4096 --k=32 --q=64 "
+                 "--seed=1 --quick\n";
+    return 0;
+  }
+  const bench::CommonFlags flags(cli);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 4096));
+  const auto k = static_cast<unsigned>(cli.get_int("k", 32));
+  const auto q = static_cast<unsigned>(cli.get_int("q", 64));
+  const auto trials = static_cast<std::size_t>(
+      flags.quick ? 60 : cli.get_int("trials", 300));
+  const auto seed = static_cast<std::uint64_t>(flags.seed);
+
+  bench::banner("micro_harness  serial vs parallel probe, batched drawing",
+                "expected: trials/sec scales with threads (bit-identical "
+                "results), batched sample_many beats per-sample dispatch");
+
+  // --- Part 1: probe_success throughput vs thread count. -------------------
+  const FixedThresholdTester tester({n, k, q, 0.5, 4});
+  const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
+    return tester.run(src, rng);
+  };
+  const auto uniform = workloads::uniform_factory(n);
+  const auto far = workloads::paninski_far_factory(n, 0.5);
+
+  struct Point {
+    unsigned threads;
+    double trials_per_sec;
+    double speedup;
+  };
+  std::vector<Point> points;
+  ProbeResult reference;
+  bool bit_identical = true;
+  double base_tps = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    // Warm-up pass (source caches, page faults), then the timed pass.
+    (void)probe_success(run, uniform, far, std::max<std::size_t>(trials / 4, 1),
+                        seed, pool);
+    const auto start = std::chrono::steady_clock::now();
+    const ProbeResult r = probe_success(run, uniform, far, trials, seed, pool);
+    const double elapsed = seconds_since(start);
+    if (threads == 1) {
+      reference = r;
+      base_tps = static_cast<double>(trials) / elapsed;
+    } else if (!probe_equal(reference, r)) {
+      bit_identical = false;
+    }
+    const double tps = static_cast<double>(trials) / elapsed;
+    points.push_back({threads, tps, tps / base_tps});
+  }
+
+  Table probe_table({"threads", "trials/sec", "speedup vs 1"});
+  for (const auto& p : points) {
+    probe_table.add_row({static_cast<std::int64_t>(p.threads),
+                         p.trials_per_sec, p.speedup});
+  }
+  probe_table.print(std::cout, "probe_success throughput (threshold tester)");
+  std::cout << "parallel results bit-identical to serial: "
+            << (bit_identical ? "YES" : "NO") << "\n";
+
+  // --- Part 2: batched vs per-sample drawing. ------------------------------
+  const DistributionSource dist_source(gen::zipf(static_cast<std::size_t>(n),
+                                                 1.0));
+  const ScalarOnlySource scalar_source(dist_source);
+  const std::size_t batches = flags.quick ? 4000 : 20000;
+  std::vector<std::uint64_t> buf;
+  const auto time_draws = [&](const SampleSource& src) {
+    Rng rng(seed);
+    src.sample_many(rng, q, buf);  // warm the lazy alias table
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t sink = 0;
+    for (std::size_t b = 0; b < batches; ++b) {
+      src.sample_many(rng, q, buf);
+      sink += buf[0];
+    }
+    const double elapsed = seconds_since(start);
+    // Keep `sink` observable so the loop is not optimized away.
+    if (sink == 0xFFFFFFFFFFFFFFFFULL) std::cout << "";
+    return static_cast<double>(batches) * q / elapsed;
+  };
+  const double scalar_sps = time_draws(scalar_source);
+  const double batched_sps = time_draws(dist_source);
+
+  Table draw_table({"path", "samples/sec"});
+  draw_table.add_row({std::string("per-sample virtual"), scalar_sps});
+  draw_table.add_row({std::string("batched sample_many"), batched_sps});
+  draw_table.print(std::cout, "drawing throughput (zipf alias sampler)");
+  std::cout << "batched / per-sample = "
+            << format_double(batched_sps / scalar_sps) << "x\n";
+
+  // --- Emit BENCH_harness.json. --------------------------------------------
+  const std::string path = bench::output_dir() + "/BENCH_harness.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"micro_harness\",\n");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"probe\": {\"n\": %llu, \"k\": %u, \"q\": %u, "
+                    "\"trials\": %zu},\n",
+                 static_cast<unsigned long long>(n), k, q, trials);
+    std::fprintf(f, "  \"bit_identical\": %s,\n",
+                 bit_identical ? "true" : "false");
+    std::fprintf(f, "  \"probe_throughput\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"threads\": %u, \"trials_per_sec\": %.2f, "
+                   "\"speedup_vs_1\": %.3f}%s\n",
+                   points[i].threads, points[i].trials_per_sec,
+                   points[i].speedup, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"sampling\": {\"per_sample_sps\": %.0f, "
+                 "\"batched_sps\": %.0f, \"batched_speedup\": %.3f}\n",
+                 scalar_sps, batched_sps, batched_sps / scalar_sps);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::cout << "wrote " << path << "\n";
+  }
+
+  return bit_identical ? 0 : 1;
+}

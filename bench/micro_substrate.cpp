@@ -11,6 +11,7 @@
 #include "dist/nu_z.hpp"
 #include "fourier/wht.hpp"
 #include "sim/protocol.hpp"
+#include "stats/workloads.hpp"
 #include "testers/collision.hpp"
 #include "testers/distributed.hpp"
 
@@ -96,6 +97,73 @@ void BM_ProtocolRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProtocolRound)->Arg(8)->Arg(64)->Arg(512);
+
+/// Batched sample_many on a DistributionSource: one virtual dispatch per
+/// batch, alias tables kept hot.
+void BM_SampleManyBatched(benchmark::State& state) {
+  Rng rng(7);
+  const DistributionSource source(
+      gen::zipf(static_cast<std::size_t>(state.range(0)), 1.0));
+  std::vector<std::uint64_t> buf;
+  source.sample_many(rng, 64, buf);  // build the lazy alias table
+  for (auto _ : state) {
+    source.sample_many(rng, 64, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_SampleManyBatched)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 20);
+
+/// The pre-batching baseline: one virtual sample() call per draw through the
+/// SampleSource base default loop.
+void BM_SampleManyPerSample(benchmark::State& state) {
+  Rng rng(7);
+  const DistributionSource source(
+      gen::zipf(static_cast<std::size_t>(state.range(0)), 1.0));
+  const SampleSource& base = source;
+  std::vector<std::uint64_t> buf(64);
+  (void)base.sample(rng);  // build the lazy alias table
+  for (auto _ : state) {
+    for (auto& s : buf) s = base.sample(rng);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_SampleManyPerSample)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 20);
+
+/// The probe-loop allocation hoist (ISSUE 2 satellite): the same uniform
+/// factory with and without the trial-invariant promise. The delta is the
+/// per-trial heap allocation + source construction cost.
+void BM_ProbeSourceHoisted(benchmark::State& state) {
+  const TesterRun run = [](const SampleSource& src, Rng& rng) {
+    std::vector<std::uint64_t> s;
+    src.sample_many(rng, 16, s);
+    return collision_pairs(s) == 0;
+  };
+  ThreadPool pool(1);
+  const SourceSpec uniform = workloads::uniform_factory(4096);
+  const SourceSpec far = workloads::paninski_far_factory(4096, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        probe_success(run, uniform, far, 64, 1, pool).trials);
+  }
+}
+BENCHMARK(BM_ProbeSourceHoisted);
+
+void BM_ProbeSourceFresh(benchmark::State& state) {
+  const TesterRun run = [](const SampleSource& src, Rng& rng) {
+    std::vector<std::uint64_t> s;
+    src.sample_many(rng, 16, s);
+    return collision_pairs(s) == 0;
+  };
+  ThreadPool pool(1);
+  const SourceSpec uniform(workloads::uniform_factory(4096).factory(),
+                           /*trial_invariant=*/false);
+  const SourceSpec far = workloads::paninski_far_factory(4096, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        probe_success(run, uniform, far, 64, 1, pool).trials);
+  }
+}
+BENCHMARK(BM_ProbeSourceFresh);
 
 void BM_PerturbationVector(benchmark::State& state) {
   Rng rng(6);

@@ -23,6 +23,21 @@ class AliasSampler {
     return rng.next_double() < prob_[i] ? i : alias_[i];
   }
 
+  /// Batched draws: fill `out` with `count` iid samples. Consumes the RNG
+  /// exactly like `count` sample() calls (bit-identical), but keeps the
+  /// table pointers hot and lets callers skip per-draw call overhead.
+  void sample_many(Rng& rng, std::size_t count,
+                   std::vector<std::uint64_t>& out) const {
+    out.resize(count);
+    const double* prob = prob_.data();
+    const std::uint64_t* alias = alias_.data();
+    const std::size_t n = prob_.size();
+    for (auto& s : out) {
+      const std::uint64_t i = rng.next_below(n);
+      s = rng.next_double() < prob[i] ? i : alias[i];
+    }
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
 
   /// The acceptance probability table (exposed for tests).

@@ -37,8 +37,7 @@ std::uint64_t DiscreteDistribution::sample(Rng& rng) const {
 void DiscreteDistribution::sample_many(Rng& rng, std::size_t count,
                                        std::vector<std::uint64_t>& out) const {
   if (!sampler_) sampler_ = std::make_shared<AliasSampler>(pmf_);
-  out.resize(count);
-  for (auto& s : out) s = sampler_->sample(rng);
+  sampler_->sample_many(rng, count, out);
 }
 
 double DiscreteDistribution::l1_distance(

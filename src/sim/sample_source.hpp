@@ -1,14 +1,24 @@
 // A uniform interface over "things players can draw samples from": a
 // materialized DiscreteDistribution, the structured NuZ family (sampled
-// without materializing its pmf), or the exact uniform distribution on a
-// large domain. The protocol runner only needs sample() and domain_size().
+// without materializing its pmf), the exact uniform distribution on a
+// large domain, or an empirical histogram of counts. The protocol runner
+// only needs sample() and domain_size().
+//
+// sample_many is the hot path of every tester's inner loop, so it is
+// virtual: each source draws whole batches with one dispatch instead of one
+// virtual call per sample. Overrides MUST consume the RNG exactly like
+// count repeated sample() calls, so batch and scalar drawing are
+// interchangeable bit-for-bit (checked in test_workloads).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "dist/discrete_distribution.hpp"
 #include "dist/nu_z.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace duti {
@@ -25,9 +35,10 @@ class SampleSource {
   /// l1 distance from the uniform distribution (exact where known).
   [[nodiscard]] virtual double l1_from_uniform() const = 0;
 
-  /// Fill `out` with `count` iid samples.
-  void sample_many(Rng& rng, std::size_t count,
-                   std::vector<std::uint64_t>& out) const {
+  /// Fill `out` with `count` iid samples. The default loops over sample();
+  /// concrete sources override with a single-dispatch batch loop.
+  virtual void sample_many(Rng& rng, std::size_t count,
+                           std::vector<std::uint64_t>& out) const {
     out.resize(count);
     for (auto& s : out) s = sample(rng);
   }
@@ -41,6 +52,11 @@ class UniformSource final : public SampleSource {
   }
   [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
     return rng.next_below(n_);
+  }
+  void sample_many(Rng& rng, std::size_t count,
+                   std::vector<std::uint64_t>& out) const override {
+    out.resize(count);
+    for (auto& s : out) s = rng.next_below(n_);
   }
   [[nodiscard]] std::uint64_t domain_size() const override { return n_; }
   [[nodiscard]] double l1_from_uniform() const override { return 0.0; }
@@ -56,6 +72,10 @@ class DistributionSource final : public SampleSource {
       : dist_(std::move(dist)) {}
   [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
     return dist_.sample(rng);
+  }
+  void sample_many(Rng& rng, std::size_t count,
+                   std::vector<std::uint64_t>& out) const override {
+    dist_.sample_many(rng, count, out);
   }
   [[nodiscard]] std::uint64_t domain_size() const override {
     return dist_.domain_size();
@@ -79,6 +99,10 @@ class NuZSource final : public SampleSource {
   [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
     return nu_.sample(rng);
   }
+  void sample_many(Rng& rng, std::size_t count,
+                   std::vector<std::uint64_t>& out) const override {
+    nu_.sample_many(rng, count, out);
+  }
   [[nodiscard]] std::uint64_t domain_size() const override {
     return nu_.domain().universe_size();
   }
@@ -89,6 +113,47 @@ class NuZSource final : public SampleSource {
 
  private:
   NuZ nu_;
+};
+
+/// Empirical distribution backed by a histogram of observed counts: element
+/// i is drawn with probability counts[i] / total. Lets testers replay or
+/// bootstrap from tallied data without rebuilding a DiscreteDistribution
+/// (no pmf normalization pass), with the same O(1) alias draws and batched
+/// sample_many as the other sources.
+class HistogramSource final : public SampleSource {
+ public:
+  explicit HistogramSource(const std::vector<std::uint64_t>& counts)
+      : n_(counts.size()),
+        sampler_(std::vector<double>(counts.begin(), counts.end())) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    require(total > 0, "HistogramSource: all counts are zero");
+    // l1 from uniform, exact from the integer counts.
+    double l1 = 0.0;
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (const std::uint64_t c : counts) {
+      l1 += std::fabs(static_cast<double>(c) / static_cast<double>(total) -
+                      inv_n);
+    }
+    l1_from_uniform_ = l1;
+  }
+
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const override {
+    return sampler_.sample(rng);
+  }
+  void sample_many(Rng& rng, std::size_t count,
+                   std::vector<std::uint64_t>& out) const override {
+    sampler_.sample_many(rng, count, out);
+  }
+  [[nodiscard]] std::uint64_t domain_size() const override { return n_; }
+  [[nodiscard]] double l1_from_uniform() const override {
+    return l1_from_uniform_;
+  }
+
+ private:
+  std::uint64_t n_;
+  AliasSampler sampler_;
+  double l1_from_uniform_ = 0.0;
 };
 
 }  // namespace duti

@@ -1,101 +1,242 @@
 #include "stats/harness.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <map>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace duti {
 
-ProbeResult probe_success(const TesterRun& tester,
-                          const SourceFactory& uniform_source,
-                          const SourceFactory& far_source, std::size_t trials,
-                          std::uint64_t seed) {
-  require(static_cast<bool>(tester), "probe_success: null tester");
-  require(trials >= 1, "probe_success: need at least one trial");
-  SuccessCounter uniform_accepts, far_rejects;
-  for (std::size_t t = 0; t < trials; ++t) {
-    {
-      Rng rng = make_rng(seed, 0xF00DULL, t);
-      const auto source = uniform_source(rng);
-      Rng run_rng = make_rng(seed, 0xBEEFULL, t);
-      uniform_accepts.record(tester(*source, run_rng));
-    }
-    {
-      Rng rng = make_rng(seed, 0xFA5ULL, t);
-      const auto source = far_source(rng);
-      Rng run_rng = make_rng(seed, 0xCAFEULL, t);
-      far_rejects.record(!tester(*source, run_rng));
-    }
+namespace {
+
+// Partial tallies for one chunk of trials. All fields are integer counts,
+// so merging chunks in chunk order reproduces the serial tally exactly.
+struct ChunkTally {
+  SuccessCounter uniform_accepts;
+  SuccessCounter far_rejects;
+  std::uint64_t uniform_aborts_quorum = 0;
+  std::uint64_t uniform_aborts_timeout = 0;
+  std::uint64_t far_aborts_quorum = 0;
+  std::uint64_t far_aborts_timeout = 0;
+};
+
+// Per-worker cache for trial-invariant sources: materialized on first use,
+// reused for every later trial that worker runs (the allocation hoist).
+struct WorkerSources {
+  std::unique_ptr<SampleSource> uniform;
+  std::unique_ptr<SampleSource> far;
+};
+
+// Materialize (or fetch the cached) source for one trial side.
+const SampleSource& trial_source(const SourceSpec& spec, Rng& rng,
+                                 std::unique_ptr<SampleSource>& cached,
+                                 std::unique_ptr<SampleSource>& fresh) {
+  if (spec.trial_invariant()) {
+    if (!cached) cached = spec(rng);
+    return *cached;
   }
+  fresh = spec(rng);
+  return *fresh;
+}
+
+// Shared probe engine. `run_uniform` / `run_far` execute the tester against
+// one source and record into the chunk tally; everything else (seed
+// derivation, sharding, source caching, deterministic reduction) is common
+// to probe_success and probe_success_ex.
+template <typename UniformRun, typename FarRun>
+ProbeResult probe_engine(const SourceSpec& uniform_source,
+                         const SourceSpec& far_source, std::size_t trials,
+                         std::uint64_t seed, ThreadPool& pool,
+                         const UniformRun& run_uniform, const FarRun& run_far) {
+  require(static_cast<bool>(uniform_source), "probe: null uniform factory");
+  require(static_cast<bool>(far_source), "probe: null far factory");
+  require(trials >= 1, "probe: need at least one trial");
+
+  // ~4 chunks per worker for load balance. The chunk layout varies with the
+  // pool size, but the reduction is exact integer addition, so the merged
+  // result does not.
+  const std::size_t workers = pool.size();
+  const std::size_t grain =
+      std::max<std::size_t>(1, (trials + 4 * workers - 1) / (4 * workers));
+  const std::size_t chunks = (trials + grain - 1) / grain;
+
+  std::vector<ChunkTally> tallies(chunks);
+  std::vector<WorkerSources> cached(workers);
+
+  pool.parallel_for(
+      trials, grain,
+      [&](std::size_t begin, std::size_t end, unsigned worker) {
+        ChunkTally& tally = tallies[begin / grain];
+        WorkerSources& ws = cached[worker];
+        for (std::size_t t = begin; t < end; ++t) {
+          {
+            Rng rng = make_rng(seed, 0xF00DULL, t);
+            std::unique_ptr<SampleSource> fresh;
+            const SampleSource& source =
+                trial_source(uniform_source, rng, ws.uniform, fresh);
+            Rng run_rng = make_rng(seed, 0xBEEFULL, t);
+            run_uniform(source, run_rng, tally);
+          }
+          {
+            Rng rng = make_rng(seed, 0xFA5ULL, t);
+            std::unique_ptr<SampleSource> fresh;
+            const SampleSource& source =
+                trial_source(far_source, rng, ws.far, fresh);
+            Rng run_rng = make_rng(seed, 0xCAFEULL, t);
+            run_far(source, run_rng, tally);
+          }
+        }
+      });
+
+  // Deterministic reduction: fold chunk tallies in chunk order.
   ProbeResult out;
+  SuccessCounter uniform_accepts, far_rejects;
+  for (const ChunkTally& tally : tallies) {
+    uniform_accepts.merge(tally.uniform_accepts);
+    far_rejects.merge(tally.far_rejects);
+    out.uniform_aborts_quorum += tally.uniform_aborts_quorum;
+    out.uniform_aborts_timeout += tally.uniform_aborts_timeout;
+    out.far_aborts_quorum += tally.far_aborts_quorum;
+    out.far_aborts_timeout += tally.far_aborts_timeout;
+  }
   out.trials = trials;
   out.uniform_accept_rate = uniform_accepts.rate();
   out.far_reject_rate = far_rejects.rate();
   out.uniform_ci = uniform_accepts.wilson();
   out.far_ci = far_rejects.wilson();
   return out;
+}
+
+}  // namespace
+
+ProbeResult probe_success(const TesterRun& tester,
+                          const SourceSpec& uniform_source,
+                          const SourceSpec& far_source, std::size_t trials,
+                          std::uint64_t seed, ThreadPool& pool) {
+  require(static_cast<bool>(tester), "probe_success: null tester");
+  return probe_engine(
+      uniform_source, far_source, trials, seed, pool,
+      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
+        tally.uniform_accepts.record(tester(source, rng));
+      },
+      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
+        tally.far_rejects.record(!tester(source, rng));
+      });
+}
+
+ProbeResult probe_success(const TesterRun& tester,
+                          const SourceSpec& uniform_source,
+                          const SourceSpec& far_source, std::size_t trials,
+                          std::uint64_t seed) {
+  return probe_success(tester, uniform_source, far_source, trials, seed,
+                       ThreadPool::global());
 }
 
 ProbeResult probe_success_ex(const TesterRunEx& tester,
-                             const SourceFactory& uniform_source,
-                             const SourceFactory& far_source,
-                             std::size_t trials, std::uint64_t seed) {
+                             const SourceSpec& uniform_source,
+                             const SourceSpec& far_source, std::size_t trials,
+                             std::uint64_t seed, ThreadPool& pool) {
   require(static_cast<bool>(tester), "probe_success_ex: null tester");
-  require(trials >= 1, "probe_success_ex: need at least one trial");
-  SuccessCounter uniform_accepts, far_rejects;
-  ProbeResult out;
-  for (std::size_t t = 0; t < trials; ++t) {
-    {
-      Rng rng = make_rng(seed, 0xF00DULL, t);
-      const auto source = uniform_source(rng);
-      Rng run_rng = make_rng(seed, 0xBEEFULL, t);
-      const RefereeOutcome o = tester(*source, run_rng);
-      uniform_accepts.record(o == RefereeOutcome::kAccept);
-      if (o == RefereeOutcome::kAbortQuorum) ++out.uniform_aborts_quorum;
-      if (o == RefereeOutcome::kAbortTimeout) ++out.uniform_aborts_timeout;
-    }
-    {
-      Rng rng = make_rng(seed, 0xFA5ULL, t);
-      const auto source = far_source(rng);
-      Rng run_rng = make_rng(seed, 0xCAFEULL, t);
-      const RefereeOutcome o = tester(*source, run_rng);
-      far_rejects.record(o == RefereeOutcome::kReject);
-      if (o == RefereeOutcome::kAbortQuorum) ++out.far_aborts_quorum;
-      if (o == RefereeOutcome::kAbortTimeout) ++out.far_aborts_timeout;
-    }
-  }
-  out.trials = trials;
-  out.uniform_accept_rate = uniform_accepts.rate();
-  out.far_reject_rate = far_rejects.rate();
-  out.uniform_ci = uniform_accepts.wilson();
-  out.far_ci = far_rejects.wilson();
-  return out;
+  return probe_engine(
+      uniform_source, far_source, trials, seed, pool,
+      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
+        const RefereeOutcome o = tester(source, rng);
+        tally.uniform_accepts.record(o == RefereeOutcome::kAccept);
+        if (o == RefereeOutcome::kAbortQuorum) ++tally.uniform_aborts_quorum;
+        if (o == RefereeOutcome::kAbortTimeout) ++tally.uniform_aborts_timeout;
+      },
+      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
+        const RefereeOutcome o = tester(source, rng);
+        tally.far_rejects.record(o == RefereeOutcome::kReject);
+        if (o == RefereeOutcome::kAbortQuorum) ++tally.far_aborts_quorum;
+        if (o == RefereeOutcome::kAbortTimeout) ++tally.far_aborts_timeout;
+      });
+}
+
+ProbeResult probe_success_ex(const TesterRunEx& tester,
+                             const SourceSpec& uniform_source,
+                             const SourceSpec& far_source, std::size_t trials,
+                             std::uint64_t seed) {
+  return probe_success_ex(tester, uniform_source, far_source, trials, seed,
+                          ThreadPool::global());
 }
 
 MinSearchResult find_min_param(const ProbeFn& probe,
-                               const MinSearchConfig& cfg) {
+                               const MinSearchConfig& cfg, ThreadPool& pool) {
   require(static_cast<bool>(probe), "find_min_param: null probe");
   require(cfg.lo >= 1 && cfg.lo <= cfg.hi, "find_min_param: bad range");
   MinSearchResult result;
 
-  auto run_probe = [&](std::uint64_t value) {
-    ProbeResult r = probe(value);
-    result.probes.emplace_back(value, r);
-    return r.passes(cfg.target);
+  // probe() is pure per value, so speculative waves land in a cache that the
+  // serial decision replay consults. Consulted probes (and only those) enter
+  // the audit trail, in the order the serial algorithm would visit them.
+  // A speculated value may lie outside the probe's valid range (serial would
+  // never evaluate it), so failures are cached per value and rethrown only if
+  // the serial decision sequence actually consults that value.
+  struct CacheEntry {
+    ProbeResult result;
+    std::exception_ptr error;
+  };
+  std::map<std::uint64_t, CacheEntry> cache;
+
+  auto ensure = [&](const std::vector<std::uint64_t>& values) {
+    std::vector<std::uint64_t> missing;
+    for (const std::uint64_t v : values) {
+      if (!cache.contains(v) &&
+          std::find(missing.begin(), missing.end(), v) == missing.end()) {
+        missing.push_back(v);
+      }
+    }
+    if (missing.empty()) return;
+    std::vector<CacheEntry> fresh(missing.size());
+    pool.parallel_for(missing.size(), 1,
+                      [&](std::size_t begin, std::size_t end, unsigned) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          try {
+                            fresh[i].result = probe(missing[i]);
+                          } catch (...) {
+                            fresh[i].error = std::current_exception();
+                          }
+                        }
+                      });
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      cache.emplace(missing[i], std::move(fresh[i]));
+    }
   };
 
-  // Exponential bracketing: find the first power-of-two multiple of lo
-  // that passes.
+  auto consult = [&](std::uint64_t value) {
+    ensure({value});
+    const CacheEntry& entry = cache.at(value);
+    if (entry.error) std::rethrow_exception(entry.error);
+    result.probes.emplace_back(value, entry.result);
+    return entry.result.passes(cfg.target);
+  };
+
+  const std::size_t width = pool.size();
+
+  // Exponential bracketing: find the first power-of-two multiple of lo that
+  // passes, speculating the next `width` rungs of the doubling ladder.
   std::uint64_t hi = cfg.lo;
-  bool hi_passes = run_probe(hi);
-  while (!hi_passes) {
+  for (;;) {
+    if (width > 1 && !ThreadPool::in_worker()) {
+      std::vector<std::uint64_t> ladder;
+      std::uint64_t v = hi;
+      for (std::size_t i = 0; i < width; ++i) {
+        ladder.push_back(v);
+        if (v >= cfg.hi) break;
+        v = std::min(cfg.hi, v * 2);
+      }
+      ensure(ladder);
+    }
+    if (consult(hi)) break;
     if (hi >= cfg.hi) {
       result.found = false;
       return result;
     }
     hi = std::min(cfg.hi, hi * 2);
-    hi_passes = run_probe(hi);
   }
   if (hi == cfg.lo) {
     result.found = true;
@@ -104,10 +245,29 @@ MinSearchResult find_min_param(const ProbeFn& probe,
   }
 
   // Binary search in (hi/2, hi]: the largest failing value seen is hi/2.
+  // Speculation evaluates the next levels of the bisection decision tree
+  // (every midpoint the search could reach within the wave budget).
   std::uint64_t lo = hi / 2;
   while (hi - lo > 1) {
+    if (width > 1 && !ThreadPool::in_worker()) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> frontier{{lo, hi}};
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> next;
+      std::vector<std::uint64_t> wave;
+      while (!frontier.empty() && wave.size() < width) {
+        next.clear();
+        for (const auto& [l, h] : frontier) {
+          if (h - l <= 1 || wave.size() >= width) continue;
+          const std::uint64_t m = l + (h - l) / 2;
+          wave.push_back(m);
+          next.emplace_back(l, m);
+          next.emplace_back(m, h);
+        }
+        frontier.swap(next);
+      }
+      ensure(wave);
+    }
     const std::uint64_t mid = lo + (hi - lo) / 2;
-    if (run_probe(mid)) {
+    if (consult(mid)) {
       hi = mid;
     } else {
       lo = mid;
@@ -118,22 +278,48 @@ MinSearchResult find_min_param(const ProbeFn& probe,
   return result;
 }
 
+MinSearchResult find_min_param(const ProbeFn& probe,
+                               const MinSearchConfig& cfg) {
+  return find_min_param(probe, cfg, ThreadPool::global());
+}
+
 double find_min_param_median(
     const std::function<ProbeFn(std::uint64_t seed)>& make_probe,
-    const MinSearchConfig& cfg, unsigned repeats) {
+    const MinSearchConfig& cfg, unsigned repeats, ThreadPool& pool) {
   require(repeats >= 1, "find_min_param_median: repeats >= 1");
+  // Build every repeat's probe on the calling thread (the factory need not
+  // be thread-safe; the probes themselves must be).
+  std::vector<ProbeFn> probes;
+  probes.reserve(repeats);
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    probes.push_back(make_probe(derive_seed(cfg.seed, rep)));
+  }
+  // Repeats are independent searches; run them across the pool and reduce
+  // the per-repeat minima in repeat order (same order as the serial loop).
+  std::vector<MinSearchResult> results(repeats);
+  pool.parallel_for(repeats, 1,
+                    [&](std::size_t begin, std::size_t end, unsigned) {
+                      for (std::size_t rep = begin; rep < end; ++rep) {
+                        MinSearchConfig rep_cfg = cfg;
+                        rep_cfg.seed = derive_seed(cfg.seed, rep);
+                        results[rep] =
+                            find_min_param(probes[rep], rep_cfg, pool);
+                      }
+                    });
   std::vector<double> minima;
   minima.reserve(repeats);
-  for (unsigned rep = 0; rep < repeats; ++rep) {
-    MinSearchConfig rep_cfg = cfg;
-    rep_cfg.seed = derive_seed(cfg.seed, rep);
-    const auto result = find_min_param(make_probe(rep_cfg.seed), rep_cfg);
-    if (result.found) {
-      minima.push_back(static_cast<double>(result.minimum));
-    }
+  for (const MinSearchResult& r : results) {
+    if (r.found) minima.push_back(static_cast<double>(r.minimum));
   }
   require(!minima.empty(), "find_min_param_median: no search succeeded");
   return median(std::move(minima));
+}
+
+double find_min_param_median(
+    const std::function<ProbeFn(std::uint64_t seed)>& make_probe,
+    const MinSearchConfig& cfg, unsigned repeats) {
+  return find_min_param_median(make_probe, cfg, repeats,
+                               ThreadPool::global());
 }
 
 }  // namespace duti

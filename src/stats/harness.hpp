@@ -3,6 +3,15 @@
 // resource (q samples, k nodes, ...) at which the tester clears the paper's
 // 2/3 success bar. These measured minima are the data points every bench
 // compares against the paper's predicted curves.
+//
+// Parallelism (DESIGN.md §7): every probe trial derives its RNG streams from
+// (seed, salt, trial-index) alone, so trials are order-free and the harness
+// shards them across a ThreadPool. All tallies are integer counts reduced in
+// deterministic chunk order, so a ProbeResult is bit-for-bit identical at
+// any thread count (enforced by test_harness_parallel). Testers and source
+// factories passed to the probe functions must be safe to invoke
+// concurrently from several threads (all in-repo ones are: they only read
+// captured immutable state).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 #include "testers/robust_rules.hpp"  // RefereeOutcome
 #include "util/confidence.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace duti {
 
@@ -29,6 +39,38 @@ using TesterRunEx = std::function<RefereeOutcome(const SampleSource&, Rng&)>;
 /// hard mixture of Section 3), so the measured rejection rate is over the
 /// same ensemble the lower bound argues about.
 using SourceFactory = std::function<std::unique_ptr<SampleSource>(Rng&)>;
+
+/// A SourceFactory plus the promise (or not) that it ignores its Rng — i.e.
+/// every trial would see an identical source. When the promise holds, the
+/// probe loops materialize the source once per worker instead of paying a
+/// heap allocation per trial (measured in micro_substrate / micro_harness).
+/// Implicitly convertible from a plain SourceFactory (treated as
+/// trial-varying), so existing call sites are unaffected.
+class SourceSpec {
+ public:
+  SourceSpec() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit bridge
+  SourceSpec(SourceFactory factory, bool trial_invariant = false)
+      : factory_(std::move(factory)), trial_invariant_(trial_invariant) {}
+
+  /// Invoke the underlying factory (keeps `spec(rng)` call sites working).
+  [[nodiscard]] std::unique_ptr<SampleSource> operator()(Rng& rng) const {
+    return factory_(rng);
+  }
+  [[nodiscard]] const SourceFactory& factory() const noexcept {
+    return factory_;
+  }
+  [[nodiscard]] bool trial_invariant() const noexcept {
+    return trial_invariant_;
+  }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return static_cast<bool>(factory_);
+  }
+
+ private:
+  SourceFactory factory_;
+  bool trial_invariant_ = false;
+};
 
 struct ProbeResult {
   double uniform_accept_rate = 0.0;
@@ -54,20 +96,31 @@ struct ProbeResult {
 };
 
 /// Run `trials` independent executions against fresh uniform and far
-/// sources and tally both error sides.
+/// sources and tally both error sides. Trials are sharded across `pool`
+/// (default: the global pool, sized by DUTI_THREADS); the result is
+/// bit-identical at any thread count.
 [[nodiscard]] ProbeResult probe_success(const TesterRun& tester,
-                                        const SourceFactory& uniform_source,
-                                        const SourceFactory& far_source,
+                                        const SourceSpec& uniform_source,
+                                        const SourceSpec& far_source,
                                         std::size_t trials,
                                         std::uint64_t seed);
+[[nodiscard]] ProbeResult probe_success(const TesterRun& tester,
+                                        const SourceSpec& uniform_source,
+                                        const SourceSpec& far_source,
+                                        std::size_t trials, std::uint64_t seed,
+                                        ThreadPool& pool);
 
 /// Like probe_success, but the tester reports a full RefereeOutcome, so
 /// per-trial abort reasons are attributed instead of being conflated with
 /// rejections. Uses the same seed derivation as probe_success: a boolean
 /// tester and its _ex wrapping see identical sources and run streams.
 [[nodiscard]] ProbeResult probe_success_ex(
-    const TesterRunEx& tester, const SourceFactory& uniform_source,
-    const SourceFactory& far_source, std::size_t trials, std::uint64_t seed);
+    const TesterRunEx& tester, const SourceSpec& uniform_source,
+    const SourceSpec& far_source, std::size_t trials, std::uint64_t seed);
+[[nodiscard]] ProbeResult probe_success_ex(
+    const TesterRunEx& tester, const SourceSpec& uniform_source,
+    const SourceSpec& far_source, std::size_t trials, std::uint64_t seed,
+    ThreadPool& pool);
 
 struct MinSearchConfig {
   std::uint64_t lo = 2;          // smallest candidate value
@@ -83,19 +136,38 @@ struct MinSearchResult {
   std::vector<std::pair<std::uint64_t, ProbeResult>> probes;  // audit trail
 };
 
-/// Probe at one parameter value (the searched resource).
+/// Probe at one parameter value (the searched resource). Must be a pure
+/// function of the value (all in-repo probes are: they derive their seed
+/// from the value), which is what lets the search speculate.
 using ProbeFn = std::function<ProbeResult(std::uint64_t)>;
 
 /// Find the minimal parameter value whose probe passes, assuming success is
 /// (statistically) monotone in the parameter: exponential bracketing from
 /// `lo`, then binary search inside the bracket.
+///
+/// With a multi-thread pool the search SPECULATES: each wave evaluates, in
+/// parallel, the candidates the serial algorithm might consult next (the
+/// next doublings during bracketing; the next levels of the bisection tree
+/// during binary search). Consultation then replays the exact serial
+/// decision sequence against the precomputed results, so `minimum` and the
+/// `probes` audit trail are identical to the serial search — speculation
+/// only trades spare cores for wall-clock.
 [[nodiscard]] MinSearchResult find_min_param(const ProbeFn& probe,
                                              const MinSearchConfig& cfg);
+[[nodiscard]] MinSearchResult find_min_param(const ProbeFn& probe,
+                                             const MinSearchConfig& cfg,
+                                             ThreadPool& pool);
 
 /// Median of `repeats` independent searches (different probe seeds supplied
 /// by the caller through `make_probe`); smooths the 2/3-crossing noise.
+/// Repeats run concurrently across `pool` (each repeat's nested search then
+/// runs serially inside its worker); per-repeat minima are reduced in repeat
+/// order, so the median matches the serial implementation exactly.
 [[nodiscard]] double find_min_param_median(
     const std::function<ProbeFn(std::uint64_t seed)>& make_probe,
     const MinSearchConfig& cfg, unsigned repeats);
+[[nodiscard]] double find_min_param_median(
+    const std::function<ProbeFn(std::uint64_t seed)>& make_probe,
+    const MinSearchConfig& cfg, unsigned repeats, ThreadPool& pool);
 
 }  // namespace duti

@@ -10,19 +10,21 @@
 
 namespace duti::workloads {
 
-/// Fresh UniformSource on {0,...,n-1} per trial.
-[[nodiscard]] SourceFactory uniform_factory(std::uint64_t n);
+/// Fresh UniformSource on {0,...,n-1} per trial. Trial-invariant: the probe
+/// loops materialize it once per worker instead of once per trial.
+[[nodiscard]] SourceSpec uniform_factory(std::uint64_t n);
 
 /// Fresh eps-far Paninski distribution with random pair signs per trial
 /// (n even). This is the flat-domain version of the paper's hard mixture.
-[[nodiscard]] SourceFactory paninski_far_factory(std::uint64_t n, double eps);
+[[nodiscard]] SourceSpec paninski_far_factory(std::uint64_t n, double eps);
 
 /// Fresh nu_z with a uniformly random perturbation vector per trial
 /// (universe size 2^{ell+1}); sampling is O(1) per draw, so this scales to
 /// large universes.
-[[nodiscard]] SourceFactory nu_z_far_factory(unsigned ell, double eps);
+[[nodiscard]] SourceSpec nu_z_far_factory(unsigned ell, double eps);
 
-/// The same fixed distribution every trial.
-[[nodiscard]] SourceFactory fixed_factory(DiscreteDistribution dist);
+/// The same fixed distribution every trial (trial-invariant, like
+/// uniform_factory).
+[[nodiscard]] SourceSpec fixed_factory(DiscreteDistribution dist);
 
 }  // namespace duti::workloads

@@ -8,8 +8,18 @@
 
 namespace duti {
 
+namespace {
+// Reusable sort scratch. These statistics sit in the inner loop of every
+// collision/threshold tester trial (once per player per protocol run), so
+// a heap allocation per call dominates at small q. One thread_local buffer
+// per thread keeps the loop allocation-free and data-race-free under the
+// harness's trial sharding.
+thread_local std::vector<std::uint64_t> tls_sort_scratch;
+}  // namespace
+
 std::uint64_t collision_pairs(std::span<const std::uint64_t> samples) {
-  std::vector<std::uint64_t> sorted(samples.begin(), samples.end());
+  std::vector<std::uint64_t>& sorted = tls_sort_scratch;
+  sorted.assign(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   std::uint64_t pairs = 0;
   for (std::size_t i = 0; i < sorted.size();) {
@@ -21,8 +31,16 @@ std::uint64_t collision_pairs(std::span<const std::uint64_t> samples) {
   return pairs;
 }
 
+std::uint64_t collision_pairs_from_counts(
+    std::span<const std::uint64_t> counts) {
+  std::uint64_t pairs = 0;
+  for (const std::uint64_t c : counts) pairs += c * (c - 1) / 2;
+  return pairs;
+}
+
 std::uint64_t distinct_values(std::span<const std::uint64_t> samples) {
-  std::vector<std::uint64_t> sorted(samples.begin(), samples.end());
+  std::vector<std::uint64_t>& sorted = tls_sort_scratch;
+  sorted.assign(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   return static_cast<std::uint64_t>(
       std::unique(sorted.begin(), sorted.end()) - sorted.begin());

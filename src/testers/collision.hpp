@@ -16,9 +16,16 @@
 
 namespace duti {
 
-/// Number of colliding pairs #{i<j : s_i = s_j}; O(q log q).
+/// Number of colliding pairs #{i<j : s_i = s_j}; O(q log q). Uses a
+/// thread-local sort scratch, so repeated calls allocate nothing.
 [[nodiscard]] std::uint64_t collision_pairs(
     std::span<const std::uint64_t> samples);
+
+/// Collision pairs from an already-tallied histogram: sum_i c_i(c_i-1)/2.
+/// O(domain) and allocation-free — the fast path when samples arrive as
+/// counts (e.g. from a HistogramSource or a tallying player).
+[[nodiscard]] std::uint64_t collision_pairs_from_counts(
+    std::span<const std::uint64_t> counts);
 
 /// Number of distinct values among the samples (the statistic of
 /// Paninski's coincidence tester).

@@ -55,6 +55,14 @@ class SuccessCounter {
     return wilson_interval(successes_, trials_, z);
   }
 
+  /// Fold another tally into this one. Counts are integers, so merging
+  /// per-shard counters (in any order) reproduces the single-threaded tally
+  /// exactly — the keystone of the harness's bit-identical parallelism.
+  void merge(const SuccessCounter& other) noexcept {
+    successes_ += other.successes_;
+    trials_ += other.trials_;
+  }
+
  private:
   std::uint64_t successes_ = 0;
   std::uint64_t trials_ = 0;

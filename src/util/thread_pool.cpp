@@ -1,0 +1,141 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+namespace {
+// Set for the lifetime of a pool task; nested parallel_for calls detect it
+// and run inline so a worker never blocks waiting on its own pool.
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  if (threads_ == 1) return;  // inline-only pool, no OS threads
+  workers_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const ChunkBody& body) {
+  require(static_cast<bool>(body), "parallel_for: null body");
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  auto run_chunk = [&](std::size_t c, unsigned worker) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    body(begin, end, worker);
+  };
+
+  // Serial paths: 1-thread pool, a single chunk, or a nested call from a
+  // worker of any pool. Chunk layout (and therefore any per-chunk
+  // reduction) is identical to the parallel path.
+  if (threads_ == 1 || chunks == 1 || tls_in_worker) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c, 0);
+    return;
+  }
+
+  // Shared state for this loop: a dynamic chunk cursor (load balance; chunk
+  // CONTENT stays deterministic) and completion/error plumbing.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::size_t pending;
+    std::mutex done_mutex;
+    std::condition_variable done;
+  } state;
+
+  const unsigned runners =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, chunks));
+  state.pending = runners;
+
+  auto runner = [&, chunks](unsigned worker) {
+    for (;;) {
+      const std::size_t c = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks || state.failed.load(std::memory_order_relaxed)) break;
+      try {
+        run_chunk(c, worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state.error_mutex);
+        if (!state.error) state.error = std::current_exception();
+        state.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    {
+      // Notify while holding the lock: the waiter destroys `state` as soon
+      // as it observes pending == 0, which it can only do after we release
+      // the mutex — so the cv is never signalled after destruction.
+      const std::lock_guard<std::mutex> lock(state.done_mutex);
+      --state.pending;
+      state.done.notify_one();
+    }
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (unsigned w = 0; w < runners; ++w) {
+      tasks_.emplace([&runner, w] { runner(w); });
+    }
+  }
+  wake_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(state.done_mutex);
+    state.done.wait(lock, [&state] { return state.pending == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+unsigned ThreadPool::configured_threads() {
+  if (const char* env = std::getenv("DUTI_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool ThreadPool::in_worker() noexcept { return tls_in_worker; }
+
+}  // namespace duti

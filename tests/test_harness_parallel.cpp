@@ -1,0 +1,237 @@
+// Determinism regression for the parallel measurement engine: every probe
+// and search result must be bit-for-bit identical to the serial path at any
+// thread count (ISSUE 2 acceptance criterion; DESIGN.md §7).
+#include <gtest/gtest.h>
+
+#include "stats/harness.hpp"
+#include "stats/workloads.hpp"
+#include "testers/collision.hpp"
+#include "testers/fixed_threshold.hpp"
+#include "util/error.hpp"
+
+namespace duti {
+namespace {
+
+void expect_probe_equal(const ProbeResult& a, const ProbeResult& b) {
+  EXPECT_DOUBLE_EQ(a.uniform_accept_rate, b.uniform_accept_rate);
+  EXPECT_DOUBLE_EQ(a.far_reject_rate, b.far_reject_rate);
+  EXPECT_DOUBLE_EQ(a.uniform_ci.lo, b.uniform_ci.lo);
+  EXPECT_DOUBLE_EQ(a.uniform_ci.hi, b.uniform_ci.hi);
+  EXPECT_DOUBLE_EQ(a.far_ci.lo, b.far_ci.lo);
+  EXPECT_DOUBLE_EQ(a.far_ci.hi, b.far_ci.hi);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.uniform_aborts_quorum, b.uniform_aborts_quorum);
+  EXPECT_EQ(a.uniform_aborts_timeout, b.uniform_aborts_timeout);
+  EXPECT_EQ(a.far_aborts_quorum, b.far_aborts_quorum);
+  EXPECT_EQ(a.far_aborts_timeout, b.far_aborts_timeout);
+}
+
+// A representative tester: draws samples and thresholds collision pairs,
+// consuming source and run randomness like the real protocol testers do.
+TesterRun noisy_collision_tester() {
+  return [](const SampleSource& source, Rng& rng) {
+    std::vector<std::uint64_t> samples;
+    source.sample_many(rng, 48, samples);
+    const double expected = expected_collision_pairs_uniform(
+        static_cast<double>(source.domain_size()), 48);
+    return static_cast<double>(collision_pairs(samples)) <=
+           expected + 1.0 + rng.next_double();
+  };
+}
+
+TEST(ParallelProbe, BitIdenticalAcrossThreadCounts) {
+  const TesterRun tester = noisy_collision_tester();
+  ThreadPool serial(1);
+  const ProbeResult reference =
+      probe_success(tester, workloads::uniform_factory(256),
+                    workloads::paninski_far_factory(256, 0.5), 400, 11, serial);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const ProbeResult parallel =
+        probe_success(tester, workloads::uniform_factory(256),
+                      workloads::paninski_far_factory(256, 0.5), 400, 11, pool);
+    SCOPED_TRACE(threads);
+    expect_probe_equal(reference, parallel);
+  }
+}
+
+TEST(ParallelProbe, RealTesterBitIdentical) {
+  const FixedThresholdTester tester({64, 8, 16, 0.5, 2});
+  const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
+    return tester.run(src, rng);
+  };
+  ThreadPool serial(1);
+  const ProbeResult reference =
+      probe_success(run, workloads::uniform_factory(64),
+                    workloads::paninski_far_factory(64, 0.5), 200, 3, serial);
+  for (const unsigned threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const ProbeResult parallel =
+        probe_success(run, workloads::uniform_factory(64),
+                      workloads::paninski_far_factory(64, 0.5), 200, 3, pool);
+    SCOPED_TRACE(threads);
+    expect_probe_equal(reference, parallel);
+  }
+}
+
+TEST(ParallelProbeEx, AbortAttributionBitIdentical) {
+  // Outcome depends on the trial's sample and run streams, with all four
+  // referee outcomes reachable — exercises every abort tally.
+  const TesterRunEx tester = [](const SampleSource& source, Rng& rng) {
+    const std::uint64_t s = source.sample(rng);
+    const double u = rng.next_double();
+    if (u < 0.10) return RefereeOutcome::kAbortQuorum;
+    if (u < 0.25) return RefereeOutcome::kAbortTimeout;
+    return (s + static_cast<std::uint64_t>(u * 1000.0)) % 3 == 0
+               ? RefereeOutcome::kAccept
+               : RefereeOutcome::kReject;
+  };
+  ThreadPool serial(1);
+  const ProbeResult reference = probe_success_ex(
+      tester, workloads::uniform_factory(128),
+      workloads::paninski_far_factory(128, 0.5), 500, 17, serial);
+  EXPECT_GT(reference.aborts(), 0u);  // the scenario actually aborts
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const ProbeResult parallel = probe_success_ex(
+        tester, workloads::uniform_factory(128),
+        workloads::paninski_far_factory(128, 0.5), 500, 17, pool);
+    SCOPED_TRACE(threads);
+    expect_probe_equal(reference, parallel);
+  }
+}
+
+TEST(ParallelProbe, SourceHoistDoesNotChangeResults) {
+  // The same uniform factory, once with the trial-invariant promise (per-
+  // worker cached source) and once wrapped as trial-varying (fresh heap
+  // source per trial): identical results, because the factory ignores rng.
+  const TesterRun tester = noisy_collision_tester();
+  const SourceSpec invariant = workloads::uniform_factory(256);
+  ASSERT_TRUE(invariant.trial_invariant());
+  const SourceSpec varying(invariant.factory(), /*trial_invariant=*/false);
+  ThreadPool pool(4);
+  const ProbeResult a =
+      probe_success(tester, invariant,
+                    workloads::paninski_far_factory(256, 0.5), 300, 23, pool);
+  const ProbeResult b =
+      probe_success(tester, varying,
+                    workloads::paninski_far_factory(256, 0.5), 300, 23, pool);
+  expect_probe_equal(a, b);
+}
+
+TEST(ParallelSearch, SpeculativeMinimumMatchesSerial) {
+  // Statistically monotone synthetic probe: pure per value, noisy cutoff.
+  const ProbeFn probe = [](std::uint64_t value) {
+    ProbeResult r;
+    r.trials = 1;
+    const std::uint64_t cutoff = 93 + (derive_seed(5, value) % 9);
+    r.uniform_accept_rate = value >= cutoff ? 1.0 : 0.0;
+    r.far_reject_rate = 1.0;
+    return r;
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1 << 14;
+  ThreadPool serial(1);
+  const auto reference = find_min_param(probe, cfg, serial);
+  ASSERT_TRUE(reference.found);
+  for (const unsigned threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto speculative = find_min_param(probe, cfg, pool);
+    SCOPED_TRACE(threads);
+    ASSERT_TRUE(speculative.found);
+    EXPECT_EQ(speculative.minimum, reference.minimum);
+    // The audit trail replays the serial consultation sequence exactly.
+    ASSERT_EQ(speculative.probes.size(), reference.probes.size());
+    for (std::size_t i = 0; i < reference.probes.size(); ++i) {
+      EXPECT_EQ(speculative.probes[i].first, reference.probes[i].first);
+    }
+  }
+}
+
+TEST(ParallelSearch, SpeculativeProbeFailuresDoNotEscape) {
+  // Probes can have validity limits (e.g. a tester config that only exists
+  // for small q). Speculation may evaluate values past where the serial
+  // search stops; a failure there must stay invisible unless the serial
+  // decision sequence actually consults that value. Regression: e3_threshold
+  // aborted at DUTI_THREADS=8 because a speculated rung beyond the passing
+  // point threw in FixedThresholdTester's Poisson quantile.
+  const ProbeFn probe = [](std::uint64_t value) {
+    if (value > 128) throw InvalidArgument("probe: value out of range");
+    ProbeResult r;
+    r.trials = 1;
+    r.uniform_accept_rate = value >= 100 ? 1.0 : 0.0;
+    r.far_reject_rate = 1.0;
+    return r;
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1 << 14;  // ladder reaches far past the validity limit
+  ThreadPool serial(1);
+  const auto reference = find_min_param(probe, cfg, serial);
+  ASSERT_TRUE(reference.found);
+  for (const unsigned threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    SCOPED_TRACE(threads);
+    const auto speculative = find_min_param(probe, cfg, pool);
+    ASSERT_TRUE(speculative.found);
+    EXPECT_EQ(speculative.minimum, reference.minimum);
+    ASSERT_EQ(speculative.probes.size(), reference.probes.size());
+  }
+  // When the serial sequence itself consults a throwing value, every thread
+  // count must surface the same exception.
+  cfg.lo = 200;  // first consulted value is already out of range
+  EXPECT_THROW(find_min_param(probe, cfg, serial), InvalidArgument);
+  ThreadPool wide(8);
+  EXPECT_THROW(find_min_param(probe, cfg, wide), InvalidArgument);
+}
+
+TEST(ParallelSearch, GivesUpIdentically) {
+  const ProbeFn probe = [](std::uint64_t) { return ProbeResult{}; };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 64;
+  ThreadPool pool(8);
+  const auto result = find_min_param(probe, cfg, pool);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(ParallelSearch, MedianMatchesSerial) {
+  auto make_probe = [](std::uint64_t seed) -> ProbeFn {
+    return [seed](std::uint64_t value) {
+      ProbeResult r;
+      const std::uint64_t cutoff = 95 + (derive_seed(seed, value) % 11);
+      r.uniform_accept_rate = value >= cutoff ? 1.0 : 0.0;
+      r.far_reject_rate = 1.0;
+      return r;
+    };
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 4096;
+  ThreadPool serial(1);
+  const double reference = find_min_param_median(make_probe, cfg, 5, serial);
+  for (const unsigned threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    SCOPED_TRACE(threads);
+    EXPECT_DOUBLE_EQ(find_min_param_median(make_probe, cfg, 5, pool),
+                     reference);
+  }
+}
+
+TEST(ParallelProbe, DefaultOverloadUsesGlobalPool) {
+  // The pool-less overloads route through ThreadPool::global(); results must
+  // match an explicit serial pool whatever DUTI_THREADS says.
+  const TesterRun tester = noisy_collision_tester();
+  ThreadPool serial(1);
+  const ProbeResult reference =
+      probe_success(tester, workloads::uniform_factory(64),
+                    workloads::paninski_far_factory(64, 0.5), 150, 29, serial);
+  const ProbeResult via_global =
+      probe_success(tester, workloads::uniform_factory(64),
+                    workloads::paninski_far_factory(64, 0.5), 150, 29);
+  expect_probe_equal(reference, via_global);
+}
+
+}  // namespace
+}  // namespace duti

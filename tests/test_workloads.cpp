@@ -68,6 +68,46 @@ TEST(Workloads, FixedFactoryReturnsSameDistribution) {
   EXPECT_DOUBLE_EQ(da->distribution().l1_distance(db->distribution()), 0.0);
 }
 
+TEST(Workloads, TrialInvarianceFlags) {
+  // The invariance promise drives the probe loops' per-worker source reuse;
+  // rng-consuming factories must NOT carry it.
+  EXPECT_TRUE(workloads::uniform_factory(64).trial_invariant());
+  EXPECT_TRUE(workloads::fixed_factory(gen::zipf(16, 1.0)).trial_invariant());
+  EXPECT_FALSE(workloads::paninski_far_factory(64, 0.5).trial_invariant());
+  EXPECT_FALSE(workloads::nu_z_far_factory(5, 0.4).trial_invariant());
+}
+
+TEST(SampleSources, BatchedDrawsMatchScalarDraws) {
+  // sample_many overrides must consume the RNG exactly like repeated
+  // sample() calls — batch and scalar paths are interchangeable bit-for-bit.
+  const auto check = [](const SampleSource& source) {
+    Rng scalar_rng(99), batch_rng(99);
+    std::vector<std::uint64_t> batch;
+    source.sample_many(batch_rng, 257, batch);
+    ASSERT_EQ(batch.size(), 257u);
+    for (const std::uint64_t b : batch) {
+      EXPECT_EQ(b, source.sample(scalar_rng));
+    }
+  };
+  check(UniformSource(1000));
+  check(DistributionSource(gen::zipf(64, 1.0)));
+  Rng rng(7);
+  check(NuZSource(
+      NuZ(CubeDomain(5), PerturbationVector::random(5, rng), 0.4)));
+  check(HistogramSource({5, 0, 3, 12, 1}));
+}
+
+TEST(SampleSources, HistogramSource) {
+  HistogramSource source({0, 10, 0, 0});
+  EXPECT_EQ(source.domain_size(), 4u);
+  EXPECT_DOUBLE_EQ(source.l1_from_uniform(), 1.5);  // |1-1/4| + 3*|0-1/4|
+  Rng rng(11);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_EQ(source.sample(rng), 1u);  // all mass on element 1
+  }
+  EXPECT_THROW(HistogramSource({0, 0}), InvalidArgument);
+}
+
 TEST(Workloads, Validation) {
   EXPECT_THROW(workloads::uniform_factory(0), InvalidArgument);
   EXPECT_THROW(workloads::paninski_far_factory(63, 0.5), InvalidArgument);
