@@ -18,9 +18,10 @@ using namespace duti;
 
 template <typename Tester>
 std::uint64_t measure_q_star(std::uint64_t n, double eps, std::size_t trials,
-                             std::uint64_t seed) {
+                             std::uint64_t seed,
+                             SamplingKernel kernel = SamplingKernel::kPerSample) {
   const ProbeFn probe = [=](std::uint64_t q) {
-    const Tester tester(n, eps, static_cast<unsigned>(q));
+    const Tester tester(n, eps, static_cast<unsigned>(q), kernel);
     const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
       return tester.run(src, rng);
     };
@@ -44,10 +45,23 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   if (cli.help_requested()) {
     std::cout << "e8_centralized --eps=0.5 --n=4096 "
-                 "--ns=256,1024,4096,16384 --trials=200\n";
+                 "--ns=256,1024,4096,16384 --trials=200 "
+                 "--kernel=persample|counts\n";
     return 0;
   }
   const bench::CommonFlags flags(cli);
+  // --kernel=counts: draw per-element histograms via the multinomial counts
+  // kernels (O(min(n, q)) per trial) instead of per-sample streams. Same
+  // distribution, different RNG consumption; q* shifts only within noise.
+  const std::string kernel_name = cli.get_string("kernel", "persample");
+  SamplingKernel kernel = SamplingKernel::kPerSample;
+  if (kernel_name == "counts") {
+    kernel = SamplingKernel::kCounts;
+  } else if (kernel_name != "persample") {
+    std::cerr << "unknown --kernel=" << kernel_name
+              << " (expected persample|counts)\n";
+    return 2;
+  }
   const double eps = cli.get_double("eps", 0.5);
   const auto n_fixed = static_cast<std::uint64_t>(cli.get_int("n", 4096));
   auto ns = cli.get_int_list("ns", {256, 1024, 4096, 16384});
@@ -64,13 +78,13 @@ int main(int argc, char** argv) {
     const auto seed_n =
         derive_seed(static_cast<std::uint64_t>(flags.seed), n);
     const auto q_star = measure_q_star<CentralizedCollisionTester>(
-        nd, eps, static_cast<std::size_t>(flags.trials), seed_n);
+        nd, eps, static_cast<std::size_t>(flags.trials), seed_n, kernel);
     const auto q_chi = measure_q_star<ChiSquaredTester>(
         nd, eps, static_cast<std::size_t>(flags.trials),
-        derive_seed(seed_n, 1));
+        derive_seed(seed_n, 1), kernel);
     const auto q_coin = measure_q_star<PaninskiCoincidenceTester>(
         nd, eps, static_cast<std::size_t>(flags.trials),
-        derive_seed(seed_n, 2));
+        derive_seed(seed_n, 2), kernel);
     if (q_star == 0) continue;
     const double pred = predict::centralized_q(static_cast<double>(n), eps);
     n_table.add_row({n, static_cast<std::int64_t>(q_star),
@@ -96,7 +110,8 @@ int main(int argc, char** argv) {
     const auto q_star = measure_q_star<CentralizedCollisionTester>(
         n_fixed, e, static_cast<std::size_t>(flags.trials),
         derive_seed(static_cast<std::uint64_t>(flags.seed),
-                    static_cast<std::uint64_t>(e * 1000)));
+                    static_cast<std::uint64_t>(e * 1000)),
+        kernel);
     if (q_star == 0) continue;
     const double pred =
         predict::centralized_q(static_cast<double>(n_fixed), e);

@@ -5,6 +5,7 @@
 // later PRs can track the perf trajectory. Also asserts, at runtime, that
 // every thread count produced the bit-identical ProbeResult.
 #include <chrono>
+#include <filesystem>
 #include <thread>
 #include <cstdio>
 #include <iostream>
@@ -12,7 +13,9 @@
 
 #include "bench_common.hpp"
 #include "dist/generators.hpp"
+#include "stats/probe_cache.hpp"
 #include "stats/workloads.hpp"
+#include "testers/centralized.hpp"
 #include "testers/fixed_threshold.hpp"
 #include "util/thread_pool.hpp"
 
@@ -32,7 +35,9 @@ bool probe_equal(const ProbeResult& a, const ProbeResult& b) {
          a.uniform_ci.lo == b.uniform_ci.lo &&
          a.uniform_ci.hi == b.uniform_ci.hi && a.far_ci.lo == b.far_ci.lo &&
          a.far_ci.hi == b.far_ci.hi && a.trials == b.trials &&
-         a.aborts() == b.aborts();
+         a.uniform_successes == b.uniform_successes &&
+         a.far_successes == b.far_successes && a.budget == b.budget &&
+         a.stop == b.stop && a.aborts() == b.aborts();
 }
 
 // Forwards sample() but NOT sample_many: the pre-batching baseline, paying
@@ -149,6 +154,198 @@ int main(int argc, char** argv) {
   std::cout << "batched / per-sample = "
             << format_double(batched_sps / scalar_sps) << "x\n";
 
+  // --- Part 3: adaptive-vs-fixed trial budgets in a q* search. -------------
+  // Representative search: the minimal per-trial sample budget q at which a
+  // majority-amplified centralized collision tester clears the 2/3 bar on
+  // (n=4096, eps=1.0). Majority amplification (repeat the tester, take the
+  // majority vote — the standard success-amplification step) steepens the
+  // success curve in q, which is what makes the searched threshold
+  // well-defined; it is also exactly the regime where early stopping pays,
+  // because most rungs and midpoints sit far from the bar. Both searches run
+  // on a serial pool so trial counts are exactly the consulted probes (no
+  // speculative work muddying the ledger) and deterministic.
+  const std::uint64_t search_n = 4096;
+  const double search_eps =
+      static_cast<double>(cli.get_int("search-eps100", 100)) / 100.0;
+  const auto search_trials = static_cast<std::size_t>(
+      cli.get_int("search-trials", flags.quick ? 400 : 1600));
+  const auto search_reps =
+      static_cast<unsigned>(cli.get_int("search-reps", 15));
+  const auto search_seed = derive_seed(seed, 0xADA);
+  const auto s_uniform = workloads::uniform_factory(search_n);
+  const auto s_far = workloads::paninski_far_factory(search_n, search_eps);
+  ThreadPool search_pool(1);
+
+  const auto collision_run = [&](std::uint64_t qq) -> TesterRun {
+    return [reps = search_reps,
+            tester = CentralizedCollisionTester(
+                search_n, search_eps, static_cast<unsigned>(qq))](
+               const SampleSource& src, Rng& rng) {
+      unsigned accepts = 0;
+      for (unsigned r = 0; r < reps; ++r) {
+        if (tester.run(src, rng)) ++accepts;
+      }
+      return 2 * accepts > reps;
+    };
+  };
+  // The bracket probe gets the SAME budget with early stopping on top: its
+  // trials are a prefix of the full probe's (same per-trial seeds), and its
+  // certificates agree with the full-budget verdict (provably for the
+  // deterministic seal, within delta for the Wilson one) — so the bracketed
+  // search replays the fixed search's decisions and lands on the same
+  // minimum, only cheaper.
+  AdaptiveProbeConfig acfg;
+  const std::size_t bracket_budget = search_trials;
+  std::uint64_t fixed_trials_total = 0;
+  std::uint64_t adaptive_trials_total = 0;
+  const ProbeFn fixed_probe = [&](std::uint64_t qq) {
+    const ProbeResult r =
+        probe_success(collision_run(qq), s_uniform, s_far, search_trials,
+                      derive_seed(search_seed, qq), search_pool);
+    fixed_trials_total += r.trials;
+    return r;
+  };
+  const ProbeFn full_probe = [&](std::uint64_t qq) {
+    const ProbeResult r =
+        probe_success(collision_run(qq), s_uniform, s_far, search_trials,
+                      derive_seed(search_seed, qq), search_pool);
+    adaptive_trials_total += r.trials;
+    return r;
+  };
+  const ProbeFn bracket_probe = [&](std::uint64_t qq) {
+    const ProbeResult r = probe_success_adaptive(
+        collision_run(qq), s_uniform, s_far, bracket_budget,
+        derive_seed(search_seed, qq), acfg, search_pool);
+    adaptive_trials_total += r.trials;
+    return r;
+  };
+
+  MinSearchConfig scfg;
+  scfg.lo = 2;
+  scfg.hi = 1ULL << 18;
+  scfg.trials = search_trials;
+  scfg.seed = search_seed;
+  scfg.full_budget_width = 4;
+
+  auto search_start = std::chrono::steady_clock::now();
+  const MinSearchResult fixed_search =
+      find_min_param(fixed_probe, scfg, search_pool);
+  const double fixed_seconds = seconds_since(search_start);
+
+  scfg.adaptive_bracket = true;
+  search_start = std::chrono::steady_clock::now();
+  const MinSearchResult adaptive_search =
+      find_min_param(full_probe, bracket_probe, scfg, search_pool);
+  const double adaptive_seconds = seconds_since(search_start);
+
+  if (cli.get_int("search-debug", 0) != 0) {
+    for (const auto& [value, r] : adaptive_search.probes) {
+      std::cerr << "probe q=" << value << " trials=" << r.trials
+                << " u=" << r.uniform_accept_rate
+                << " f=" << r.far_reject_rate
+                << " stop=" << static_cast<int>(r.stop) << "\n";
+    }
+  }
+  const bool same_minimum =
+      fixed_search.found && adaptive_search.found &&
+      fixed_search.minimum == adaptive_search.minimum;
+  // Final-probe verdicts: the last consulted probe at the returned minimum
+  // must pass in both searches (the adaptive one is the full-budget
+  // confirmation, so the verdicts are directly comparable).
+  const auto final_verdict = [](const MinSearchResult& s) {
+    for (auto it = s.probes.rbegin(); it != s.probes.rend(); ++it) {
+      if (it->first == s.minimum) return it->second.passes();
+    }
+    return false;
+  };
+  const bool same_final_verdict =
+      final_verdict(fixed_search) == final_verdict(adaptive_search);
+  const double trial_reduction =
+      static_cast<double>(fixed_trials_total) /
+      static_cast<double>(std::max<std::uint64_t>(adaptive_trials_total, 1));
+
+  Table search_table({"search", "q*", "probes", "total trials", "seconds"});
+  search_table.add_row(
+      {std::string("fixed budget"),
+       static_cast<std::int64_t>(fixed_search.minimum),
+       static_cast<std::int64_t>(fixed_search.probes.size()),
+       static_cast<std::int64_t>(fixed_trials_total), fixed_seconds});
+  search_table.add_row(
+      {std::string("adaptive bracket"),
+       static_cast<std::int64_t>(adaptive_search.minimum),
+       static_cast<std::int64_t>(adaptive_search.probes.size()),
+       static_cast<std::int64_t>(adaptive_trials_total), adaptive_seconds});
+  search_table.print(std::cout, "find_min_param: fixed vs adaptive bracket");
+  std::cout << "trial reduction = " << format_double(trial_reduction)
+            << "x, identical minimum: " << (same_minimum ? "YES" : "NO")
+            << ", same final verdict: " << (same_final_verdict ? "YES" : "NO")
+            << "\n";
+
+  // --- Part 4: persistent probe cache hit rate. ----------------------------
+  // The same adaptive search, twice, against one on-disk cache: the second
+  // run must be (nearly) all hits and reproduce every ProbeResult bit for
+  // bit. The cache dir lives under the bench output dir and is wiped first,
+  // so runs are self-contained.
+  const std::string cache_dir = bench::output_dir() + "/probe_cache_bench";
+  std::filesystem::remove_all(cache_dir);
+  const auto cached_search = [&](ProbeCache& cache) {
+    ProbeKey base;
+    base.workload = "paninski:n=" + std::to_string(search_n) +
+                    ":eps=" + format_double(search_eps);
+    base.tester = "collision";
+    const ProbeFn cfull = [&, base](std::uint64_t qq) {
+      ProbeKey key = base;
+      key.param = qq;
+      return probe_success_cached(cache, key, collision_run(qq), s_uniform,
+                                  s_far, search_trials,
+                                  derive_seed(search_seed, qq), search_pool);
+    };
+    const ProbeFn cbracket = [&, base](std::uint64_t qq) {
+      ProbeKey key = base;
+      key.param = qq;
+      return probe_success_adaptive_cached(
+          cache, key, collision_run(qq), s_uniform, s_far, bracket_budget,
+          derive_seed(search_seed, qq), acfg, search_pool);
+    };
+    return find_min_param(cfull, cbracket, scfg, search_pool);
+  };
+
+  double cache_hit_rate = 0.0;
+  bool cache_bit_identical = false;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  {
+    ProbeCache cold(cache_dir, CacheMode::kReadWrite);
+    search_start = std::chrono::steady_clock::now();
+    const MinSearchResult first = cached_search(cold);
+    cold_seconds = seconds_since(search_start);
+    // Fresh instance over the same directory = the next process run.
+    ProbeCache warm(cache_dir, CacheMode::kReadWrite);
+    search_start = std::chrono::steady_clock::now();
+    const MinSearchResult second = cached_search(warm);
+    warm_seconds = seconds_since(search_start);
+    const CacheStats ws = warm.stats();
+    cache_hit_rate = static_cast<double>(ws.hits) /
+                     static_cast<double>(std::max<std::uint64_t>(
+                         ws.hits + ws.misses, 1));
+    cache_bit_identical =
+        first.minimum == second.minimum &&
+        first.probes.size() == second.probes.size();
+    if (cache_bit_identical) {
+      for (std::size_t i = 0; i < first.probes.size(); ++i) {
+        if (first.probes[i].first != second.probes[i].first ||
+            !probe_equal(first.probes[i].second, second.probes[i].second)) {
+          cache_bit_identical = false;
+          break;
+        }
+      }
+    }
+  }
+  std::cout << "probe cache: hit rate " << format_double(100.0 * cache_hit_rate)
+            << "% on second run (" << format_double(cold_seconds) << "s cold, "
+            << format_double(warm_seconds) << "s warm), bit-identical: "
+            << (cache_bit_identical ? "YES" : "NO") << "\n";
+
   // --- Emit BENCH_harness.json. --------------------------------------------
   const std::string path = bench::output_dir() + "/BENCH_harness.json";
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
@@ -171,12 +368,46 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
                  "  \"sampling\": {\"per_sample_sps\": %.0f, "
-                 "\"batched_sps\": %.0f, \"batched_speedup\": %.3f}\n",
+                 "\"batched_sps\": %.0f, \"batched_speedup\": %.3f},\n",
                  scalar_sps, batched_sps, batched_sps / scalar_sps);
+    std::fprintf(f,
+                 "  \"adaptive_search\": {\"n\": %llu, \"eps\": %.3f, "
+                 "\"majority_reps\": %u, "
+                 "\"trials\": %zu, \"bracket_budget\": %zu, "
+                 "\"fixed_minimum\": %llu, \"adaptive_minimum\": %llu, "
+                 "\"fixed_trials_total\": %llu, "
+                 "\"adaptive_trials_total\": %llu, "
+                 "\"trial_reduction\": %.3f, \"fixed_seconds\": %.3f, "
+                 "\"adaptive_seconds\": %.3f, \"identical_minimum\": %s, "
+                 "\"same_final_verdict\": %s},\n",
+                 static_cast<unsigned long long>(search_n), search_eps,
+                 search_reps, search_trials, bracket_budget,
+                 static_cast<unsigned long long>(fixed_search.minimum),
+                 static_cast<unsigned long long>(adaptive_search.minimum),
+                 static_cast<unsigned long long>(fixed_trials_total),
+                 static_cast<unsigned long long>(adaptive_trials_total),
+                 trial_reduction, fixed_seconds, adaptive_seconds,
+                 same_minimum ? "true" : "false",
+                 same_final_verdict ? "true" : "false");
+    std::fprintf(f,
+                 "  \"probe_cache\": {\"hit_rate\": %.4f, "
+                 "\"cold_seconds\": %.3f, \"warm_seconds\": %.3f, "
+                 "\"bit_identical\": %s}\n",
+                 cache_hit_rate, cold_seconds, warm_seconds,
+                 cache_bit_identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::cout << "wrote " << path << "\n";
   }
 
-  return bit_identical ? 0 : 1;
+  // Quick mode halves the probe budget, which also halves how much an early
+  // stop can save, so the 3x bar applies to the default configuration only;
+  // the agreement and cache criteria hold in both modes.
+  const bool search_ok = same_minimum && same_final_verdict &&
+                         (flags.quick || trial_reduction >= 3.0) &&
+                         cache_hit_rate >= 0.9 && cache_bit_identical;
+  std::cout << "adaptive/cache acceptance (" << (flags.quick ? "" : ">=3x trials, ")
+            << "identical minimum, >=90% hits, bit-identical): "
+            << (search_ok ? "YES" : "NO") << "\n";
+  return bit_identical && search_ok ? 0 : 1;
 }

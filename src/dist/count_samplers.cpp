@@ -1,0 +1,100 @@
+#include "dist/count_samplers.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+double normal_sample(Rng& rng) {
+  // 1 - next_double() lies in (0, 1], so the log is finite.
+  const double u1 = 1.0 - rng.next_double();
+  const double u2 = rng.next_double();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double gamma_sample(Rng& rng, double shape) {
+  require(shape >= 1.0, "gamma_sample: shape must be >= 1");
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal_sample(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - rng.next_double();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double beta_sample(Rng& rng, double a, double b) {
+  require(a >= 1.0 && b >= 1.0, "beta_sample: a, b must be >= 1");
+  const double ga = gamma_sample(rng, a);
+  const double gb = gamma_sample(rng, b);
+  return ga / (ga + gb);
+}
+
+namespace {
+
+// Devroye's "second waiting time" method: successes arrive separated by
+// Geometric(p) gaps; count how many gaps fit into n trials. O(1 + np).
+std::uint64_t binomial_waiting_time(Rng& rng, std::uint64_t n, double p) {
+  const double log1mp = std::log1p(-p);
+  std::uint64_t count = 0;
+  std::uint64_t used = 0;
+  for (;;) {
+    const double u = 1.0 - rng.next_double();  // (0, 1]
+    const double gap = std::floor(std::log(u) / log1mp) + 1.0;
+    if (gap > static_cast<double>(n - used)) break;
+    used += static_cast<std::uint64_t>(gap);
+    if (used > n) break;  // defensive; the double compare above should catch
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint64_t binomial_sample(Rng& rng, std::uint64_t n, double p) {
+  require(p >= 0.0 && p <= 1.0, "binomial_sample: p in [0,1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  if (p > 0.5) return n - binomial_sample(rng, n, 1.0 - p);
+
+  if (n <= 16) {
+    std::uint64_t count = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.next_bernoulli(p)) ++count;
+    }
+    return count;
+  }
+  const double mean = static_cast<double>(n) * p;
+  if (mean <= 32.0) return binomial_waiting_time(rng, n, p);
+
+  // Large mean: condition on the k-th order statistic X ~ Beta(k, n+1-k) of
+  // n uniforms. If X <= p the k smallest all land below p and the other
+  // n-k are iid uniform on (X, 1); otherwise only the k-1 below X (iid
+  // uniform on (0, X)) can land below p. Either branch roughly halves n,
+  // so the recursion bottoms out in the waiting-time regime after O(log n)
+  // Beta draws. Exact at every step.
+  const std::uint64_t k = n / 2 + 1;
+  const double x = beta_sample(rng, static_cast<double>(k),
+                               static_cast<double>(n + 1 - k));
+  if (x <= p) {
+    double p_rest = (p - x) / (1.0 - x);
+    if (p_rest < 0.0) p_rest = 0.0;
+    if (p_rest > 1.0) p_rest = 1.0;
+    return k + binomial_sample(rng, n - k, p_rest);
+  }
+  double p_rest = p / x;
+  if (p_rest > 1.0) p_rest = 1.0;
+  return binomial_sample(rng, k - 1, p_rest);
+}
+
+}  // namespace duti

@@ -1,0 +1,59 @@
+// Exact count-kernel samplers: draw a multinomial histogram directly instead
+// of tallying individual samples. For the count-only testers (collision,
+// chi-squared, coincidence — everything downstream of
+// collision_pairs_from_counts) this turns O(q) per-trial sampling work into
+// O(min(n, q) log) binomial draws (DESIGN.md section 8).
+//
+// All samplers are EXACT (no normal approximation to the binomial): the
+// large-mean path uses Devroye's order-statistic recursion through a Beta
+// draw, halving the trial count each step, with Marsaglia-Tsang Gamma
+// generation underneath. Every draw is a deterministic function of the Rng
+// stream, so count kernels are reproducible like everything else in the
+// library — but they consume the stream DIFFERENTLY from per-sample
+// tallying, which is why testers only use them behind an opt-in flag.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace duti {
+
+/// One standard normal draw (Box-Muller; consumes two uniforms).
+[[nodiscard]] double normal_sample(Rng& rng);
+
+/// Gamma(shape, 1) for shape >= 1 (Marsaglia-Tsang squeeze).
+[[nodiscard]] double gamma_sample(Rng& rng, double shape);
+
+/// Beta(a, b) for a, b >= 1, via two Gamma draws.
+[[nodiscard]] double beta_sample(Rng& rng, double a, double b);
+
+/// Exact Binomial(n, p) draw. Cost: O(n) only for tiny n; O(1 + np) in the
+/// small-mean regime (waiting-time method); O(log n) Beta-split steps in the
+/// large-mean regime. Throws InvalidArgument unless p is in [0, 1].
+[[nodiscard]] std::uint64_t binomial_sample(Rng& rng, std::uint64_t n,
+                                            double p);
+
+/// Split `draws` uniform multinomial trials over the integer cells
+/// [lo, hi): recursively halve the range, drawing the left half's share as
+/// Binomial(remaining, left_width/width), and call emit(cell, count) for
+/// every cell that received a nonzero count (depth-first, so cells are
+/// emitted in increasing order). Subtrees with zero draws are pruned without
+/// consuming randomness, so the work is O(min(hi - lo, draws * log)).
+template <typename Emit>
+void binomial_split_counts(Rng& rng, std::uint64_t draws, std::uint64_t lo,
+                           std::uint64_t hi, Emit&& emit) {
+  if (draws == 0 || lo >= hi) return;
+  if (hi - lo == 1) {
+    emit(lo, draws);
+    return;
+  }
+  const std::uint64_t mid = lo + (hi - lo) / 2;
+  const double p_left =
+      static_cast<double>(mid - lo) / static_cast<double>(hi - lo);
+  const std::uint64_t left = binomial_sample(rng, draws, p_left);
+  binomial_split_counts(rng, left, lo, mid, emit);
+  binomial_split_counts(rng, draws - left, mid, hi, emit);
+}
+
+}  // namespace duti

@@ -16,12 +16,17 @@
 #include <memory>
 #include <vector>
 
+#include "dist/count_samplers.hpp"
 #include "dist/discrete_distribution.hpp"
 #include "dist/nu_z.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace duti {
+
+/// Largest domain for which sample_counts will materialize a histogram
+/// (the counts vector itself is Theta(domain) memory).
+inline constexpr std::uint64_t kMaxCountedDomain = 1ULL << 26;
 
 class SampleSource {
  public:
@@ -42,6 +47,30 @@ class SampleSource {
     out.resize(count);
     for (auto& s : out) s = sample(rng);
   }
+
+  /// Tally `draws` iid samples into a per-element histogram:
+  /// counts.size() == domain_size(), counts[i] = multiplicity of element i.
+  /// The default draws through sample_many and tallies, so it consumes the
+  /// RNG exactly like per-sample drawing. Structured sources override with
+  /// direct multinomial kernels (binomial splitting) that match the sample
+  /// DISTRIBUTION but consume the RNG stream differently — which is why
+  /// count-kernel consumers are opt-in (DESIGN.md section 8). Throws
+  /// CapacityError when the domain exceeds kMaxCountedDomain.
+  virtual void sample_counts(Rng& rng, std::size_t draws,
+                             std::vector<std::uint64_t>& counts) const {
+    check_counted_domain();
+    counts.assign(domain_size(), 0);
+    static thread_local std::vector<std::uint64_t> scratch;
+    sample_many(rng, draws, scratch);
+    for (const std::uint64_t s : scratch) ++counts[s];
+  }
+
+ protected:
+  void check_counted_domain() const {
+    if (domain_size() > kMaxCountedDomain) {
+      throw CapacityError("sample_counts: domain too large to materialize");
+    }
+  }
 };
 
 /// Exact uniform on {0,...,n-1}; O(1) memory for any n.
@@ -57,6 +86,22 @@ class UniformSource final : public SampleSource {
                    std::vector<std::uint64_t>& out) const override {
     out.resize(count);
     for (auto& s : out) s = rng.next_below(n_);
+  }
+  /// Counts kernel: when draws dominate the domain, split the multinomial
+  /// recursively with exact binomial draws — O(n) binomial draws instead of
+  /// O(draws) samples. Below that crossover, per-sample tallying is already
+  /// the cheaper path (and keeps the per-sample RNG stream).
+  void sample_counts(Rng& rng, std::size_t draws,
+                     std::vector<std::uint64_t>& counts) const override {
+    if (draws < n_) {
+      SampleSource::sample_counts(rng, draws, counts);
+      return;
+    }
+    check_counted_domain();
+    counts.assign(n_, 0);
+    binomial_split_counts(
+        rng, draws, 0, n_,
+        [&counts](std::uint64_t cell, std::uint64_t c) { counts[cell] = c; });
   }
   [[nodiscard]] std::uint64_t domain_size() const override { return n_; }
   [[nodiscard]] double l1_from_uniform() const override { return 0.0; }
@@ -102,6 +147,31 @@ class NuZSource final : public SampleSource {
   void sample_many(Rng& rng, std::size_t count,
                    std::vector<std::uint64_t>& out) const override {
     nu_.sample_many(rng, count, out);
+  }
+  /// Counts kernel via the two-level structure of nu_z: every cube point x
+  /// has one HEAVY element (x, s = z(x)) of mass (1+eps)/n and one LIGHT
+  /// partner of mass (1-eps)/n, and each class is uniform over the 2^ell
+  /// cube points. Draw the heavy-class total as one Binomial(draws,
+  /// (1+eps)/2), then split each class over its cube points with the
+  /// uniform binomial-splitting kernel, scattering through the element
+  /// encoding. O(min(2^ell, draws)) instead of O(draws) per trial.
+  void sample_counts(Rng& rng, std::size_t draws,
+                     std::vector<std::uint64_t>& counts) const override {
+    check_counted_domain();
+    const CubeDomain& dom = nu_.domain();
+    const std::uint64_t side = dom.side_size();
+    counts.assign(dom.universe_size(), 0);
+    const double p_heavy = 0.5 * (1.0 + nu_.eps());
+    const std::uint64_t heavy = binomial_sample(rng, draws, p_heavy);
+    const PerturbationVector& z = nu_.z();
+    binomial_split_counts(rng, heavy, 0, side,
+                          [&](std::uint64_t x, std::uint64_t c) {
+                            counts[dom.encode(x, z.sign(x))] = c;
+                          });
+    binomial_split_counts(rng, draws - heavy, 0, side,
+                          [&](std::uint64_t x, std::uint64_t c) {
+                            counts[dom.encode(x, -z.sign(x))] = c;
+                          });
   }
   [[nodiscard]] std::uint64_t domain_size() const override {
     return nu_.domain().universe_size();

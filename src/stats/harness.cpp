@@ -1,6 +1,7 @@
 #include "stats/harness.hpp"
 
 #include <algorithm>
+#include <array>
 #include <exception>
 #include <map>
 #include <utility>
@@ -9,6 +10,27 @@
 #include "util/math.hpp"
 
 namespace duti {
+
+ProbeResult probe_result_from_tallies(std::uint64_t uniform_successes,
+                                      std::uint64_t far_successes,
+                                      std::uint64_t trials,
+                                      std::uint64_t budget, ProbeStop stop) {
+  ProbeResult out;
+  out.uniform_successes = uniform_successes;
+  out.far_successes = far_successes;
+  out.trials = trials;
+  out.budget = budget;
+  out.stop = stop;
+  if (trials > 0) {
+    out.uniform_accept_rate = static_cast<double>(uniform_successes) /
+                              static_cast<double>(trials);
+    out.far_reject_rate =
+        static_cast<double>(far_successes) / static_cast<double>(trials);
+  }
+  out.uniform_ci = wilson_interval(uniform_successes, trials);
+  out.far_ci = wilson_interval(far_successes, trials);
+  return out;
+}
 
 namespace {
 
@@ -21,6 +43,15 @@ struct ChunkTally {
   std::uint64_t uniform_aborts_timeout = 0;
   std::uint64_t far_aborts_quorum = 0;
   std::uint64_t far_aborts_timeout = 0;
+
+  void merge(const ChunkTally& other) noexcept {
+    uniform_accepts.merge(other.uniform_accepts);
+    far_rejects.merge(other.far_rejects);
+    uniform_aborts_quorum += other.uniform_aborts_quorum;
+    uniform_aborts_timeout += other.uniform_aborts_timeout;
+    far_aborts_quorum += other.far_aborts_quorum;
+    far_aborts_timeout += other.far_aborts_timeout;
+  }
 };
 
 // Per-worker cache for trial-invariant sources: materialized on first use,
@@ -42,36 +73,35 @@ const SampleSource& trial_source(const SourceSpec& spec, Rng& rng,
   return *fresh;
 }
 
-// Shared probe engine. `run_uniform` / `run_far` execute the tester against
-// one source and record into the chunk tally; everything else (seed
-// derivation, sharding, source caching, deterministic reduction) is common
-// to probe_success and probe_success_ex.
+// Run trials [t0, t1) and fold their tallies into `total`. Trial t derives
+// its RNG streams from (seed, salt, t) alone — the GLOBAL trial index — so
+// a range executed in batches sees exactly the trials the one-shot probe
+// would run, and the full/adaptive probes agree trial-for-trial. Chunks are
+// reduced in chunk order; all counts are integers, so the merged tally is
+// bit-identical at any thread count.
 template <typename UniformRun, typename FarRun>
-ProbeResult probe_engine(const SourceSpec& uniform_source,
-                         const SourceSpec& far_source, std::size_t trials,
-                         std::uint64_t seed, ThreadPool& pool,
-                         const UniformRun& run_uniform, const FarRun& run_far) {
-  require(static_cast<bool>(uniform_source), "probe: null uniform factory");
-  require(static_cast<bool>(far_source), "probe: null far factory");
-  require(trials >= 1, "probe: need at least one trial");
-
+void run_trial_range(const SourceSpec& uniform_source,
+                     const SourceSpec& far_source, std::size_t t0,
+                     std::size_t t1, std::uint64_t seed, ThreadPool& pool,
+                     std::vector<WorkerSources>& cached,
+                     const UniformRun& run_uniform, const FarRun& run_far,
+                     ChunkTally& total) {
+  const std::size_t count = t1 - t0;
   // ~4 chunks per worker for load balance. The chunk layout varies with the
   // pool size, but the reduction is exact integer addition, so the merged
   // result does not.
   const std::size_t workers = pool.size();
   const std::size_t grain =
-      std::max<std::size_t>(1, (trials + 4 * workers - 1) / (4 * workers));
-  const std::size_t chunks = (trials + grain - 1) / grain;
+      std::max<std::size_t>(1, (count + 4 * workers - 1) / (4 * workers));
+  const std::size_t chunks = (count + grain - 1) / grain;
 
   std::vector<ChunkTally> tallies(chunks);
-  std::vector<WorkerSources> cached(workers);
-
   pool.parallel_for(
-      trials, grain,
-      [&](std::size_t begin, std::size_t end, unsigned worker) {
+      count, grain, [&](std::size_t begin, std::size_t end, unsigned worker) {
         ChunkTally& tally = tallies[begin / grain];
         WorkerSources& ws = cached[worker];
-        for (std::size_t t = begin; t < end; ++t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t t = t0 + i;
           {
             Rng rng = make_rng(seed, 0xF00DULL, t);
             std::unique_ptr<SampleSource> fresh;
@@ -91,24 +121,148 @@ ProbeResult probe_engine(const SourceSpec& uniform_source,
         }
       });
 
-  // Deterministic reduction: fold chunk tallies in chunk order.
-  ProbeResult out;
-  SuccessCounter uniform_accepts, far_rejects;
-  for (const ChunkTally& tally : tallies) {
-    uniform_accepts.merge(tally.uniform_accepts);
-    far_rejects.merge(tally.far_rejects);
-    out.uniform_aborts_quorum += tally.uniform_aborts_quorum;
-    out.uniform_aborts_timeout += tally.uniform_aborts_timeout;
-    out.far_aborts_quorum += tally.far_aborts_quorum;
-    out.far_aborts_timeout += tally.far_aborts_timeout;
-  }
-  out.trials = trials;
-  out.uniform_accept_rate = uniform_accepts.rate();
-  out.far_reject_rate = far_rejects.rate();
-  out.uniform_ci = uniform_accepts.wilson();
-  out.far_ci = far_rejects.wilson();
+  for (const ChunkTally& tally : tallies) total.merge(tally);
+}
+
+ProbeResult finalize_tally(const ChunkTally& total, std::uint64_t trials,
+                           std::uint64_t budget, ProbeStop stop) {
+  ProbeResult out = probe_result_from_tallies(
+      total.uniform_accepts.successes(), total.far_rejects.successes(), trials,
+      budget, stop);
+  out.uniform_aborts_quorum = total.uniform_aborts_quorum;
+  out.uniform_aborts_timeout = total.uniform_aborts_timeout;
+  out.far_aborts_quorum = total.far_aborts_quorum;
+  out.far_aborts_timeout = total.far_aborts_timeout;
   return out;
 }
+
+// Full-budget probe engine: one range, no certificates.
+template <typename UniformRun, typename FarRun>
+ProbeResult probe_engine(const SourceSpec& uniform_source,
+                         const SourceSpec& far_source, std::size_t trials,
+                         std::uint64_t seed, ThreadPool& pool,
+                         const UniformRun& run_uniform, const FarRun& run_far) {
+  require(static_cast<bool>(uniform_source), "probe: null uniform factory");
+  require(static_cast<bool>(far_source), "probe: null far factory");
+  require(trials >= 1, "probe: need at least one trial");
+  std::vector<WorkerSources> cached(pool.size());
+  ChunkTally total;
+  run_trial_range(uniform_source, far_source, 0, trials, seed, pool, cached,
+                  run_uniform, run_far, total);
+  return finalize_tally(total, trials, trials, ProbeStop::kExhausted);
+}
+
+// Adaptive probe engine (DESIGN.md section 8): run deterministic batches,
+// after each completed batch consult two certificate families:
+//
+//   Deterministic ("the budget cannot flip it"): if even with every
+//   remaining trial succeeding a side's final rate stays below the target —
+//   or with every remaining trial failing both sides stay at/above it — the
+//   full-budget pass/fail verdict is already decided, and stopping cannot
+//   disagree with it.
+//
+//   Confidence (Wilson sequence): if both sides' Wilson lower bounds clear
+//   the target, or either side's upper bound is below it, at a z corrected
+//   for every peek the schedule could make (union bound over 2 sides x K
+//   checkpoints), stop; wrong with probability at most cfg.delta.
+//
+// In every stopping case the returned result's passes(cfg.target) equals
+// the certified verdict: Wilson intervals contain the empirical rate, and
+// the deterministic bounds sandwich it (worst-case final rates bracket the
+// current rate because successes/trials is monotone in both coordinates).
+template <typename UniformRun, typename FarRun>
+ProbeResult adaptive_engine(const SourceSpec& uniform_source,
+                            const SourceSpec& far_source,
+                            std::size_t max_trials, std::uint64_t seed,
+                            const AdaptiveProbeConfig& cfg, ThreadPool& pool,
+                            const UniformRun& run_uniform,
+                            const FarRun& run_far) {
+  require(static_cast<bool>(uniform_source), "probe: null uniform factory");
+  require(static_cast<bool>(far_source), "probe: null far factory");
+  require(max_trials >= 1, "adaptive probe: need at least one trial");
+  require(cfg.batch >= 1, "adaptive probe: batch must be >= 1");
+  require(cfg.target > 0.0 && cfg.target < 1.0,
+          "adaptive probe: target in (0,1)");
+  require(cfg.delta > 0.0 && cfg.delta < 1.0,
+          "adaptive probe: delta in (0,1)");
+
+  // Before this many trials not even a perfect run separates from the
+  // target at confidence delta (Hoeffding), so earlier confidence checks
+  // only burn union-bound budget.
+  const std::size_t min_trials =
+      cfg.min_trials != 0 ? cfg.min_trials
+                          : hoeffding_trials(1.0 - cfg.target, cfg.delta);
+  // Checkpoints at batch boundaries strictly before exhaustion; 2 interval
+  // evaluations (uniform + far side) per checkpoint.
+  const std::uint64_t checks =
+      max_trials > cfg.batch
+          ? static_cast<std::uint64_t>((max_trials - 1) / cfg.batch)
+          : 0;
+  const double z = checks > 0 ? union_bound_z(cfg.delta, 2 * checks) : 0.0;
+
+  std::vector<WorkerSources> cached(pool.size());
+  ChunkTally total;
+  const double budget_d = static_cast<double>(max_trials);
+  std::size_t done = 0;
+  while (done < max_trials) {
+    const std::size_t next = std::min(done + cfg.batch, max_trials);
+    run_trial_range(uniform_source, far_source, done, next, seed, pool,
+                    cached, run_uniform, run_far, total);
+    done = next;
+    if (done == max_trials) break;
+
+    const std::uint64_t us = total.uniform_accepts.successes();
+    const std::uint64_t fs = total.far_rejects.successes();
+    const auto remaining = static_cast<std::uint64_t>(max_trials - done);
+    // Worst-case FINAL rates if the remaining trials all fail / all succeed.
+    const bool pass_sure =
+        static_cast<double>(us) / budget_d >= cfg.target &&
+        static_cast<double>(fs) / budget_d >= cfg.target;
+    const bool fail_sure =
+        static_cast<double>(us + remaining) / budget_d < cfg.target ||
+        static_cast<double>(fs + remaining) / budget_d < cfg.target;
+    if (pass_sure || fail_sure) {
+      return finalize_tally(total, done, max_trials,
+                            ProbeStop::kDeterministic);
+    }
+    if (checks > 0 && done >= min_trials) {
+      const ProbeResult interim =
+          finalize_tally(total, done, max_trials, ProbeStop::kConfidence);
+      if (interim.passes_with_margin(cfg.target, z) ||
+          interim.fails_with_margin(cfg.target, z)) {
+        return interim;
+      }
+    }
+  }
+  return finalize_tally(total, done, max_trials, ProbeStop::kExhausted);
+}
+
+// Tally adapters shared by the full and adaptive entry points.
+struct BoolRuns {
+  const TesterRun& tester;
+  void uniform(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
+    tally.uniform_accepts.record(tester(source, rng));
+  }
+  void far(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
+    tally.far_rejects.record(!tester(source, rng));
+  }
+};
+
+struct ExRuns {
+  const TesterRunEx& tester;
+  void uniform(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
+    const RefereeOutcome o = tester(source, rng);
+    tally.uniform_accepts.record(o == RefereeOutcome::kAccept);
+    if (o == RefereeOutcome::kAbortQuorum) ++tally.uniform_aborts_quorum;
+    if (o == RefereeOutcome::kAbortTimeout) ++tally.uniform_aborts_timeout;
+  }
+  void far(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
+    const RefereeOutcome o = tester(source, rng);
+    tally.far_rejects.record(o == RefereeOutcome::kReject);
+    if (o == RefereeOutcome::kAbortQuorum) ++tally.far_aborts_quorum;
+    if (o == RefereeOutcome::kAbortTimeout) ++tally.far_aborts_timeout;
+  }
+};
 
 }  // namespace
 
@@ -117,13 +271,14 @@ ProbeResult probe_success(const TesterRun& tester,
                           const SourceSpec& far_source, std::size_t trials,
                           std::uint64_t seed, ThreadPool& pool) {
   require(static_cast<bool>(tester), "probe_success: null tester");
+  const BoolRuns runs{tester};
   return probe_engine(
       uniform_source, far_source, trials, seed, pool,
-      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
-        tally.uniform_accepts.record(tester(source, rng));
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.uniform(s, r, t);
       },
-      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
-        tally.far_rejects.record(!tester(source, rng));
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.far(s, r, t);
       });
 }
 
@@ -140,19 +295,14 @@ ProbeResult probe_success_ex(const TesterRunEx& tester,
                              const SourceSpec& far_source, std::size_t trials,
                              std::uint64_t seed, ThreadPool& pool) {
   require(static_cast<bool>(tester), "probe_success_ex: null tester");
+  const ExRuns runs{tester};
   return probe_engine(
       uniform_source, far_source, trials, seed, pool,
-      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
-        const RefereeOutcome o = tester(source, rng);
-        tally.uniform_accepts.record(o == RefereeOutcome::kAccept);
-        if (o == RefereeOutcome::kAbortQuorum) ++tally.uniform_aborts_quorum;
-        if (o == RefereeOutcome::kAbortTimeout) ++tally.uniform_aborts_timeout;
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.uniform(s, r, t);
       },
-      [&tester](const SampleSource& source, Rng& rng, ChunkTally& tally) {
-        const RefereeOutcome o = tester(source, rng);
-        tally.far_rejects.record(o == RefereeOutcome::kReject);
-        if (o == RefereeOutcome::kAbortQuorum) ++tally.far_aborts_quorum;
-        if (o == RefereeOutcome::kAbortTimeout) ++tally.far_aborts_timeout;
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.far(s, r, t);
       });
 }
 
@@ -164,10 +314,77 @@ ProbeResult probe_success_ex(const TesterRunEx& tester,
                           ThreadPool::global());
 }
 
-MinSearchResult find_min_param(const ProbeFn& probe,
-                               const MinSearchConfig& cfg, ThreadPool& pool) {
+ProbeResult probe_success_adaptive(const TesterRun& tester,
+                                   const SourceSpec& uniform_source,
+                                   const SourceSpec& far_source,
+                                   std::size_t max_trials, std::uint64_t seed,
+                                   const AdaptiveProbeConfig& cfg,
+                                   ThreadPool& pool) {
+  require(static_cast<bool>(tester), "probe_success_adaptive: null tester");
+  const BoolRuns runs{tester};
+  return adaptive_engine(
+      uniform_source, far_source, max_trials, seed, cfg, pool,
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.uniform(s, r, t);
+      },
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.far(s, r, t);
+      });
+}
+
+ProbeResult probe_success_adaptive(const TesterRun& tester,
+                                   const SourceSpec& uniform_source,
+                                   const SourceSpec& far_source,
+                                   std::size_t max_trials, std::uint64_t seed,
+                                   const AdaptiveProbeConfig& cfg) {
+  return probe_success_adaptive(tester, uniform_source, far_source, max_trials,
+                                seed, cfg, ThreadPool::global());
+}
+
+ProbeResult probe_success_adaptive_ex(const TesterRunEx& tester,
+                                      const SourceSpec& uniform_source,
+                                      const SourceSpec& far_source,
+                                      std::size_t max_trials,
+                                      std::uint64_t seed,
+                                      const AdaptiveProbeConfig& cfg,
+                                      ThreadPool& pool) {
+  require(static_cast<bool>(tester), "probe_success_adaptive_ex: null tester");
+  const ExRuns runs{tester};
+  return adaptive_engine(
+      uniform_source, far_source, max_trials, seed, cfg, pool,
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.uniform(s, r, t);
+      },
+      [&runs](const SampleSource& s, Rng& r, ChunkTally& t) {
+        runs.far(s, r, t);
+      });
+}
+
+ProbeResult probe_success_adaptive_ex(const TesterRunEx& tester,
+                                      const SourceSpec& uniform_source,
+                                      const SourceSpec& far_source,
+                                      std::size_t max_trials,
+                                      std::uint64_t seed,
+                                      const AdaptiveProbeConfig& cfg) {
+  return probe_success_adaptive_ex(tester, uniform_source, far_source,
+                                   max_trials, seed, cfg,
+                                   ThreadPool::global());
+}
+
+namespace {
+
+// Shared search core. `bracket_probe` may be null; when present (and
+// cfg.adaptive_bracket set) it handles the exponential bracketing rungs and
+// wide bisection midpoints, while the full-budget probe decides the final
+// steps and confirms the returned minimum.
+MinSearchResult find_min_param_impl(const ProbeFn& probe,
+                                    const ProbeFn* bracket_probe,
+                                    const MinSearchConfig& cfg,
+                                    ThreadPool& pool) {
   require(static_cast<bool>(probe), "find_min_param: null probe");
   require(cfg.lo >= 1 && cfg.lo <= cfg.hi, "find_min_param: bad range");
+  const bool bracketed = bracket_probe != nullptr && cfg.adaptive_bracket &&
+                         static_cast<bool>(*bracket_probe);
   MinSearchResult result;
 
   // probe() is pure per value, so speculative waves land in a cache that the
@@ -175,19 +392,22 @@ MinSearchResult find_min_param(const ProbeFn& probe,
   // the audit trail, in the order the serial algorithm would visit them.
   // A speculated value may lie outside the probe's valid range (serial would
   // never evaluate it), so failures are cached per value and rethrown only if
-  // the serial decision sequence actually consults that value.
+  // the serial decision sequence actually consults that value. Full-budget
+  // and bracket evaluations are cached separately (index 0 = full,
+  // 1 = bracket): they answer different questions about the same value.
   struct CacheEntry {
     ProbeResult result;
     std::exception_ptr error;
   };
-  std::map<std::uint64_t, CacheEntry> cache;
+  std::array<std::map<std::uint64_t, CacheEntry>, 2> caches;
 
-  auto ensure = [&](const std::vector<std::uint64_t>& values) {
-    std::vector<std::uint64_t> missing;
-    for (const std::uint64_t v : values) {
-      if (!cache.contains(v) &&
-          std::find(missing.begin(), missing.end(), v) == missing.end()) {
-        missing.push_back(v);
+  using Want = std::pair<std::uint64_t, bool>;  // (value, use_bracket)
+  auto ensure = [&](const std::vector<Want>& values) {
+    std::vector<Want> missing;
+    for (const Want& w : values) {
+      if (!caches[w.second ? 1 : 0].contains(w.first) &&
+          std::find(missing.begin(), missing.end(), w) == missing.end()) {
+        missing.push_back(w);
       }
     }
     if (missing.empty()) return;
@@ -195,21 +415,24 @@ MinSearchResult find_min_param(const ProbeFn& probe,
     pool.parallel_for(missing.size(), 1,
                       [&](std::size_t begin, std::size_t end, unsigned) {
                         for (std::size_t i = begin; i < end; ++i) {
+                          const ProbeFn& fn =
+                              missing[i].second ? *bracket_probe : probe;
                           try {
-                            fresh[i].result = probe(missing[i]);
+                            fresh[i].result = fn(missing[i].first);
                           } catch (...) {
                             fresh[i].error = std::current_exception();
                           }
                         }
                       });
     for (std::size_t i = 0; i < missing.size(); ++i) {
-      cache.emplace(missing[i], std::move(fresh[i]));
+      caches[missing[i].second ? 1 : 0].emplace(missing[i].first,
+                                                std::move(fresh[i]));
     }
   };
 
-  auto consult = [&](std::uint64_t value) {
-    ensure({value});
-    const CacheEntry& entry = cache.at(value);
+  auto consult = [&](std::uint64_t value, bool use_bracket) {
+    ensure({{value, use_bracket}});
+    const CacheEntry& entry = caches[use_bracket ? 1 : 0].at(value);
     if (entry.error) std::rethrow_exception(entry.error);
     result.probes.emplace_back(value, entry.result);
     return entry.result.passes(cfg.target);
@@ -219,68 +442,131 @@ MinSearchResult find_min_param(const ProbeFn& probe,
 
   // Exponential bracketing: find the first power-of-two multiple of lo that
   // passes, speculating the next `width` rungs of the doubling ladder.
+  // Rungs far from the threshold are exactly where adaptive probes certify
+  // fastest, so the bracket flavor handles this whole phase.
   std::uint64_t hi = cfg.lo;
   for (;;) {
     if (width > 1 && !ThreadPool::in_worker()) {
-      std::vector<std::uint64_t> ladder;
+      std::vector<Want> ladder;
       std::uint64_t v = hi;
       for (std::size_t i = 0; i < width; ++i) {
-        ladder.push_back(v);
+        ladder.emplace_back(v, bracketed);
         if (v >= cfg.hi) break;
         v = std::min(cfg.hi, v * 2);
       }
       ensure(ladder);
     }
-    if (consult(hi)) break;
+    if (consult(hi, bracketed)) break;
     if (hi >= cfg.hi) {
+      // Bracket-flavor give-up is only delta-sure; confirm at full budget
+      // before declaring the whole range failed.
+      if (bracketed && consult(cfg.hi, false)) {
+        MinSearchConfig full_cfg = cfg;
+        full_cfg.adaptive_bracket = false;
+        MinSearchResult rest =
+            find_min_param_impl(probe, nullptr, full_cfg, pool);
+        rest.probes.insert(rest.probes.begin(), result.probes.begin(),
+                           result.probes.end());
+        return rest;
+      }
       result.found = false;
       return result;
     }
     hi = std::min(cfg.hi, hi * 2);
   }
+
+  std::uint64_t minimum = 0;
+  bool minimum_full_backed = false;
   if (hi == cfg.lo) {
-    result.found = true;
-    result.minimum = cfg.lo;
-    return result;
+    minimum = cfg.lo;
+    minimum_full_backed = !bracketed;
+  } else {
+    // Binary search in (hi/2, hi]: the largest failing value seen is hi/2.
+    // Speculation evaluates the next levels of the bisection decision tree
+    // (every midpoint the search could reach within the wave budget), each
+    // midpoint with the flavor its interval width dictates.
+    std::uint64_t lo = hi / 2;
+    auto flavor_for = [&](std::uint64_t l, std::uint64_t h) {
+      return bracketed && (h - l) > cfg.full_budget_width;
+    };
+    while (hi - lo > 1) {
+      if (width > 1 && !ThreadPool::in_worker()) {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> frontier{
+            {lo, hi}};
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> next;
+        std::vector<Want> wave;
+        while (!frontier.empty() && wave.size() < width) {
+          next.clear();
+          for (const auto& [l, h] : frontier) {
+            if (h - l <= 1 || wave.size() >= width) continue;
+            const std::uint64_t m = l + (h - l) / 2;
+            wave.emplace_back(m, flavor_for(l, h));
+            next.emplace_back(l, m);
+            next.emplace_back(m, h);
+          }
+          frontier.swap(next);
+        }
+        ensure(wave);
+      }
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      const bool use_bracket = flavor_for(lo, hi);
+      if (consult(mid, use_bracket)) {
+        hi = mid;
+        minimum_full_backed = !use_bracket;
+      } else {
+        lo = mid;
+      }
+    }
+    minimum = hi;
   }
 
-  // Binary search in (hi/2, hi]: the largest failing value seen is hi/2.
-  // Speculation evaluates the next levels of the bisection decision tree
-  // (every midpoint the search could reach within the wave budget).
-  std::uint64_t lo = hi / 2;
-  while (hi - lo > 1) {
-    if (width > 1 && !ThreadPool::in_worker()) {
-      std::vector<std::pair<std::uint64_t, std::uint64_t>> frontier{{lo, hi}};
-      std::vector<std::pair<std::uint64_t, std::uint64_t>> next;
-      std::vector<std::uint64_t> wave;
-      while (!frontier.empty() && wave.size() < width) {
-        next.clear();
-        for (const auto& [l, h] : frontier) {
-          if (h - l <= 1 || wave.size() >= width) continue;
-          const std::uint64_t m = l + (h - l) / 2;
-          wave.push_back(m);
-          next.emplace_back(l, m);
-          next.emplace_back(m, h);
-        }
-        frontier.swap(next);
+  // The returned minimum must carry full-budget evidence. If its pass came
+  // from the bracket flavor, confirm; a failed confirmation (the bracket
+  // certificate mis-fired, probability <= its delta) resumes the search
+  // above the refuted value with full-budget probes.
+  if (bracketed && !minimum_full_backed) {
+    if (!consult(minimum, false)) {
+      if (minimum >= cfg.hi) {
+        result.found = false;
+        return result;
       }
-      ensure(wave);
-    }
-    const std::uint64_t mid = lo + (hi - lo) / 2;
-    if (consult(mid)) {
-      hi = mid;
-    } else {
-      lo = mid;
+      MinSearchConfig rest_cfg = cfg;
+      rest_cfg.lo = minimum + 1;
+      rest_cfg.adaptive_bracket = false;
+      MinSearchResult rest =
+          find_min_param_impl(probe, nullptr, rest_cfg, pool);
+      rest.probes.insert(rest.probes.begin(), result.probes.begin(),
+                         result.probes.end());
+      return rest;
     }
   }
   result.found = true;
-  result.minimum = hi;
+  result.minimum = minimum;
   return result;
+}
+
+}  // namespace
+
+MinSearchResult find_min_param(const ProbeFn& probe,
+                               const MinSearchConfig& cfg, ThreadPool& pool) {
+  return find_min_param_impl(probe, nullptr, cfg, pool);
 }
 
 MinSearchResult find_min_param(const ProbeFn& probe,
                                const MinSearchConfig& cfg) {
   return find_min_param(probe, cfg, ThreadPool::global());
+}
+
+MinSearchResult find_min_param(const ProbeFn& probe,
+                               const ProbeFn& bracket_probe,
+                               const MinSearchConfig& cfg, ThreadPool& pool) {
+  return find_min_param_impl(probe, &bracket_probe, cfg, pool);
+}
+
+MinSearchResult find_min_param(const ProbeFn& probe,
+                               const ProbeFn& bracket_probe,
+                               const MinSearchConfig& cfg) {
+  return find_min_param(probe, bracket_probe, cfg, ThreadPool::global());
 }
 
 double find_min_param_median(

@@ -72,12 +72,28 @@ class SourceSpec {
   bool trial_invariant_ = false;
 };
 
+/// Why a probe stopped: ran its whole budget, or an early-stopping
+/// certificate fired first (DESIGN.md section 8).
+enum class ProbeStop : std::uint8_t {
+  kExhausted = 0,      // all budgeted trials ran
+  kDeterministic = 1,  // remaining trials could not flip the verdict
+  kConfidence = 2,     // union-bound-corrected Wilson certificate fired
+};
+
 struct ProbeResult {
   double uniform_accept_rate = 0.0;
   double far_reject_rate = 0.0;
   Interval uniform_ci;
   Interval far_ci;
   std::uint64_t trials = 0;
+  // Integer tallies behind the rates (rate = successes / trials). Kept so
+  // CI-aware decisions and the probe cache can rebuild every derived field
+  // bit-for-bit.
+  std::uint64_t uniform_successes = 0;
+  std::uint64_t far_successes = 0;
+  // Budget the probe was allotted; trials < budget iff it stopped early.
+  std::uint64_t budget = 0;
+  ProbeStop stop = ProbeStop::kExhausted;
   // Abort attribution (filled by probe_success_ex; zero for the boolean
   // probe). Aborted trials fail their side but are NOT rejections.
   std::uint64_t uniform_aborts_quorum = 0;
@@ -89,11 +105,40 @@ struct ProbeResult {
   [[nodiscard]] bool passes(double target = 2.0 / 3.0) const {
     return uniform_accept_rate >= target && far_reject_rate >= target;
   }
+  /// Wilson interval for each side at confidence multiplier `z`, rebuilt
+  /// from the integer tallies.
+  [[nodiscard]] Interval uniform_wilson(double z) const {
+    return wilson_interval(uniform_successes, trials, z);
+  }
+  [[nodiscard]] Interval far_wilson(double z) const {
+    return wilson_interval(far_successes, trials, z);
+  }
+  /// CI-aware pass: both sides' Wilson LOWER bounds clear the target — the
+  /// single place the 2/3 bar is decided with a margin (used by the
+  /// adaptive certificate and by benches that want certified passes).
+  [[nodiscard]] bool passes_with_margin(double target, double z) const {
+    return uniform_wilson(z).lo >= target && far_wilson(z).lo >= target;
+  }
+  /// CI-aware fail: either side's Wilson UPPER bound is below the target.
+  [[nodiscard]] bool fails_with_margin(double target, double z) const {
+    return uniform_wilson(z).hi < target || far_wilson(z).hi < target;
+  }
+  [[nodiscard]] bool early_stopped() const noexcept {
+    return stop != ProbeStop::kExhausted;
+  }
   [[nodiscard]] std::uint64_t aborts() const noexcept {
     return uniform_aborts_quorum + uniform_aborts_timeout +
            far_aborts_quorum + far_aborts_timeout;
   }
 };
+
+/// Rebuild the derived fields (rates, default Wilson CIs) from integer
+/// tallies with the exact arithmetic the probe engine uses — so a
+/// ProbeResult round-tripped through integer storage (the probe cache) is
+/// bit-identical to the freshly computed one.
+[[nodiscard]] ProbeResult probe_result_from_tallies(
+    std::uint64_t uniform_successes, std::uint64_t far_successes,
+    std::uint64_t trials, std::uint64_t budget, ProbeStop stop);
 
 /// Run `trials` independent executions against fresh uniform and far
 /// sources and tally both error sides. Trials are sharded across `pool`
@@ -122,12 +167,67 @@ struct ProbeResult {
     const SourceSpec& far_source, std::size_t trials, std::uint64_t seed,
     ThreadPool& pool);
 
+/// Knobs for the adaptive early-stopping probes. Batch boundaries are FIXED
+/// (independent of thread count), and all stopping decisions are functions
+/// of integer tallies at batch boundaries, so adaptive results — including
+/// the stopping point itself — are bit-identical at any thread count.
+struct AdaptiveProbeConfig {
+  std::size_t batch = 32;     // trials per batch; certificates checked at
+                              // batch boundaries only
+  double target = 2.0 / 3.0;  // the success bar being certified
+  double delta = 1e-3;        // total certificate failure probability across
+                              // every peek (union-bound corrected)
+  // First trial count at which confidence certificates are consulted.
+  // 0 = derive from hoeffding_trials(1 - target, delta): below that count
+  // not even a perfect empirical run is delta-certifiable, so checking
+  // earlier only burns union-bound budget.
+  std::size_t min_trials = 0;
+};
+
+/// Early-stopping probe: runs trials in deterministic batches and stops as
+/// soon as either (a) the remaining budget provably cannot flip the
+/// full-budget pass/fail verdict (deterministic certificate), or (b) a
+/// union-bound-corrected Wilson confidence sequence certifies both sides
+/// above — or either side below — the target (statistical certificate,
+/// wrong with probability at most cfg.delta). Trials reuse probe_success's
+/// per-trial seed derivation, so trial t sees identical sources and run
+/// streams under both probes; the returned result's passes(cfg.target)
+/// IS the certified verdict in every stopping case.
+[[nodiscard]] ProbeResult probe_success_adaptive(
+    const TesterRun& tester, const SourceSpec& uniform_source,
+    const SourceSpec& far_source, std::size_t max_trials, std::uint64_t seed,
+    const AdaptiveProbeConfig& cfg = {});
+[[nodiscard]] ProbeResult probe_success_adaptive(
+    const TesterRun& tester, const SourceSpec& uniform_source,
+    const SourceSpec& far_source, std::size_t max_trials, std::uint64_t seed,
+    const AdaptiveProbeConfig& cfg, ThreadPool& pool);
+
+/// Fault-aware twin of probe_success_adaptive (same certificates, abort
+/// attribution tallied like probe_success_ex).
+[[nodiscard]] ProbeResult probe_success_adaptive_ex(
+    const TesterRunEx& tester, const SourceSpec& uniform_source,
+    const SourceSpec& far_source, std::size_t max_trials, std::uint64_t seed,
+    const AdaptiveProbeConfig& cfg = {});
+[[nodiscard]] ProbeResult probe_success_adaptive_ex(
+    const TesterRunEx& tester, const SourceSpec& uniform_source,
+    const SourceSpec& far_source, std::size_t max_trials, std::uint64_t seed,
+    const AdaptiveProbeConfig& cfg, ThreadPool& pool);
+
 struct MinSearchConfig {
   std::uint64_t lo = 2;          // smallest candidate value
   std::uint64_t hi = 1ULL << 22; // give-up cap
   std::size_t trials = 400;      // trials per probe
   double target = 2.0 / 3.0;     // success bar on both sides
   std::uint64_t seed = 1;
+  // Work-avoidance knobs (DESIGN.md section 8). When adaptive_bracket is set
+  // AND a bracket probe is supplied to find_min_param, the exponential
+  // bracketing rungs and the early bisection midpoints consult the (cheap,
+  // early-stopping) bracket probe; bisection falls back to the full-budget
+  // probe once the bracket narrows to full_budget_width, and the returned
+  // minimum is always confirmed with a full-budget probe before the search
+  // returns.
+  bool adaptive_bracket = false;
+  std::uint64_t full_budget_width = 8;
 };
 
 struct MinSearchResult {
@@ -155,6 +255,23 @@ using ProbeFn = std::function<ProbeResult(std::uint64_t)>;
 [[nodiscard]] MinSearchResult find_min_param(const ProbeFn& probe,
                                              const MinSearchConfig& cfg);
 [[nodiscard]] MinSearchResult find_min_param(const ProbeFn& probe,
+                                             const MinSearchConfig& cfg,
+                                             ThreadPool& pool);
+
+/// Work-avoidance variant: `bracket_probe` (typically an adaptive
+/// early-stopping probe over the same seeds) is consulted for the
+/// exponential bracketing rungs and wide bisection midpoints when
+/// cfg.adaptive_bracket is set; the full-budget `probe` decides the final
+/// bisection steps, and the returned minimum always carries a full-budget
+/// confirmation in the audit trail. If the confirmation fails (the bracket
+/// certificate mis-fired, probability <= the bracket probe's delta), the
+/// search resumes above the refuted value with full-budget probes, so the
+/// returned minimum's verdict is always full-budget-backed.
+[[nodiscard]] MinSearchResult find_min_param(const ProbeFn& probe,
+                                             const ProbeFn& bracket_probe,
+                                             const MinSearchConfig& cfg);
+[[nodiscard]] MinSearchResult find_min_param(const ProbeFn& probe,
+                                             const ProbeFn& bracket_probe,
                                              const MinSearchConfig& cfg,
                                              ThreadPool& pool);
 

@@ -1,0 +1,341 @@
+#include "stats/probe_cache.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace duti {
+
+namespace {
+
+// FNV-1a, 64-bit: stable across platforms and runs (unlike std::hash).
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_string(std::uint64_t& h, const std::string& s) {
+  const std::uint64_t len = s.size();
+  fnv_bytes(h, &len, sizeof(len));  // length prefix: no field-concat aliasing
+  fnv_bytes(h, s.data(), s.size());
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  fnv_bytes(h, &v, sizeof(v));
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Locate `"name":` in `line` and return the index just past the colon, or
+// npos. Good enough for records this code itself writes; anything else is
+// treated as corrupt and skipped.
+std::size_t find_field(const std::string& line, const char* name) {
+  const std::string needle = std::string("\"") + name + "\":";
+  const std::size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool parse_u64_field(const std::string& line, const char* name,
+                     std::uint64_t& out) {
+  const std::size_t at = find_field(line, name);
+  if (at == std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(line.c_str() + at, &end, 10);
+  if (end == line.c_str() + at || errno != 0) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_string_field(const std::string& line, const char* name,
+                        std::string& out) {
+  std::size_t at = find_field(line, name);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return false;
+  }
+  ++at;
+  out.clear();
+  while (at < line.size()) {
+    const char c = line[at];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (at + 1 >= line.size()) return false;
+      const char esc = line[at + 1];
+      if (esc == '"' || esc == '\\') {
+        out += esc;
+        at += 2;
+        continue;
+      }
+      if (esc == 'u' && at + 5 < line.size()) {
+        const std::string hex = line.substr(at + 2, 4);
+        char* end = nullptr;
+        const unsigned long code = std::strtoul(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 4 || code > 0xFF) return false;
+        out += static_cast<char>(code);
+        at += 6;
+        continue;
+      }
+      return false;
+    }
+    out += c;
+    ++at;
+  }
+  return false;  // unterminated string
+}
+
+std::string serialize_record(const ProbeKey& key, const ProbeResult& r) {
+  std::string out = "{\"workload\":";
+  append_json_string(out, key.workload);
+  out += ",\"tester\":";
+  append_json_string(out, key.tester);
+  std::ostringstream rest;
+  rest << ",\"param\":" << key.param << ",\"trials\":" << key.trials
+       << ",\"seed\":" << key.seed << ",\"flavor\":";
+  out += rest.str();
+  append_json_string(out, key.flavor);
+  std::ostringstream tail;
+  tail << ",\"ver\":" << key.engine_version << ",\"us\":"
+       << r.uniform_successes << ",\"fs\":" << r.far_successes
+       << ",\"t\":" << r.trials << ",\"budget\":" << r.budget
+       << ",\"stop\":" << static_cast<unsigned>(r.stop)
+       << ",\"uaq\":" << r.uniform_aborts_quorum
+       << ",\"uat\":" << r.uniform_aborts_timeout
+       << ",\"faq\":" << r.far_aborts_quorum
+       << ",\"fat\":" << r.far_aborts_timeout << "}";
+  out += tail.str();
+  return out;
+}
+
+bool parse_record(const std::string& line, ProbeKey& key, ProbeResult& result) {
+  std::uint64_t stop_raw = 0;
+  std::uint64_t us = 0;
+  std::uint64_t fs = 0;
+  std::uint64_t t = 0;
+  std::uint64_t budget = 0;
+  if (!parse_string_field(line, "workload", key.workload) ||
+      !parse_string_field(line, "tester", key.tester) ||
+      !parse_string_field(line, "flavor", key.flavor) ||
+      !parse_u64_field(line, "param", key.param) ||
+      !parse_u64_field(line, "trials", key.trials) ||
+      !parse_u64_field(line, "seed", key.seed) ||
+      !parse_u64_field(line, "ver", key.engine_version) ||
+      !parse_u64_field(line, "us", us) || !parse_u64_field(line, "fs", fs) ||
+      !parse_u64_field(line, "t", t) ||
+      !parse_u64_field(line, "budget", budget) ||
+      !parse_u64_field(line, "stop", stop_raw) || stop_raw > 2) {
+    return false;
+  }
+  result =
+      probe_result_from_tallies(us, fs, t, budget,
+                                static_cast<ProbeStop>(stop_raw));
+  if (!parse_u64_field(line, "uaq", result.uniform_aborts_quorum) ||
+      !parse_u64_field(line, "uat", result.uniform_aborts_timeout) ||
+      !parse_u64_field(line, "faq", result.far_aborts_quorum) ||
+      !parse_u64_field(line, "fat", result.far_aborts_timeout)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t ProbeKey::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_string(h, workload);
+  fnv_string(h, tester);
+  fnv_u64(h, param);
+  fnv_u64(h, trials);
+  fnv_u64(h, seed);
+  fnv_string(h, flavor);
+  fnv_u64(h, engine_version);
+  return h;
+}
+
+ProbeCache::ProbeCache(std::string dir, CacheMode mode)
+    : dir_(std::move(dir)), mode_(mode) {
+  if (!enabled()) return;
+  path_ = (std::filesystem::path(dir_) / "probes.jsonl").string();
+  if (mode_ == CacheMode::kReadWrite) {
+    std::filesystem::create_directories(dir_);
+  }
+  load();
+}
+
+void ProbeCache::load() {
+  std::ifstream in(path_);
+  if (!in) return;  // no file yet: empty cache
+  std::string line;
+  while (std::getline(in, line)) {
+    Record rec;
+    if (!parse_record(line, rec.key, rec.result)) continue;  // torn/corrupt
+    index_[rec.key.fingerprint()].push_back(std::move(rec));
+  }
+}
+
+ProbeCache& ProbeCache::global() {
+  static ProbeCache cache = [] {
+    const char* mode_env = std::getenv("DUTI_CACHE");
+    const std::string mode_str = mode_env == nullptr ? "off" : mode_env;
+    CacheMode mode = CacheMode::kOff;
+    if (mode_str == "off" || mode_str.empty()) {
+      mode = CacheMode::kOff;
+    } else if (mode_str == "readonly") {
+      mode = CacheMode::kReadOnly;
+    } else if (mode_str == "rw") {
+      mode = CacheMode::kReadWrite;
+    } else {
+      throw InvalidArgument("DUTI_CACHE must be off|readonly|rw, got \"" +
+                            mode_str + "\"");
+    }
+    const char* dir_env = std::getenv("DUTI_CACHE_DIR");
+    const std::string dir = dir_env == nullptr ? ".duti_cache" : dir_env;
+    return ProbeCache(dir, mode);
+  }();
+  return cache;
+}
+
+std::optional<ProbeResult> ProbeCache::lookup(const ProbeKey& key) {
+  if (!enabled()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key.fingerprint());
+  if (it != index_.end()) {
+    for (const Record& rec : it->second) {
+      if (rec.key == key) {
+        ++stats_.hits;
+        return rec.result;
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ProbeCache::insert(const ProbeKey& key, const ProbeResult& result) {
+  if (mode_ != CacheMode::kReadWrite) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_, std::ios::app);
+  if (out) {
+    out << serialize_record(key, result) << '\n';
+  }
+  index_[key.fingerprint()].push_back(Record{key, result});
+  ++stats_.inserts;
+}
+
+ProbeResult ProbeCache::get_or_compute(
+    const ProbeKey& key, const std::function<ProbeResult()>& compute) {
+  if (const std::optional<ProbeResult> hit = lookup(key)) return *hit;
+  ProbeResult fresh = compute();
+  insert(key, fresh);
+  return fresh;
+}
+
+CacheStats ProbeCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ProbeCache::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_ = CacheStats{};
+}
+
+std::size_t ProbeCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [fp, recs] : index_) n += recs.size();
+  return n;
+}
+
+std::string adaptive_flavor(const AdaptiveProbeConfig& cfg) {
+  std::ostringstream os;
+  os << "adaptive:b=" << cfg.batch << ":target=" << cfg.target
+     << ":delta=" << cfg.delta << ":min=" << cfg.min_trials;
+  return os.str();
+}
+
+ProbeResult probe_success_cached(ProbeCache& cache, ProbeKey key,
+                                 const TesterRun& tester,
+                                 const SourceSpec& uniform_source,
+                                 const SourceSpec& far_source,
+                                 std::size_t trials, std::uint64_t seed,
+                                 ThreadPool& pool) {
+  key.trials = trials;
+  key.seed = seed;
+  key.flavor = "full";
+  key.engine_version = kProbeEngineVersion;
+  return cache.get_or_compute(key, [&] {
+    return probe_success(tester, uniform_source, far_source, trials, seed,
+                         pool);
+  });
+}
+
+ProbeResult probe_success_cached(ProbeCache& cache, ProbeKey key,
+                                 const TesterRun& tester,
+                                 const SourceSpec& uniform_source,
+                                 const SourceSpec& far_source,
+                                 std::size_t trials, std::uint64_t seed) {
+  return probe_success_cached(cache, std::move(key), tester, uniform_source,
+                              far_source, trials, seed, ThreadPool::global());
+}
+
+ProbeResult probe_success_adaptive_cached(
+    ProbeCache& cache, ProbeKey key, const TesterRun& tester,
+    const SourceSpec& uniform_source, const SourceSpec& far_source,
+    std::size_t max_trials, std::uint64_t seed, const AdaptiveProbeConfig& cfg,
+    ThreadPool& pool) {
+  key.trials = max_trials;
+  key.seed = seed;
+  key.flavor = adaptive_flavor(cfg);
+  key.engine_version = kProbeEngineVersion;
+  return cache.get_or_compute(key, [&] {
+    return probe_success_adaptive(tester, uniform_source, far_source,
+                                  max_trials, seed, cfg, pool);
+  });
+}
+
+ProbeResult probe_success_adaptive_cached(ProbeCache& cache, ProbeKey key,
+                                          const TesterRun& tester,
+                                          const SourceSpec& uniform_source,
+                                          const SourceSpec& far_source,
+                                          std::size_t max_trials,
+                                          std::uint64_t seed,
+                                          const AdaptiveProbeConfig& cfg) {
+  return probe_success_adaptive_cached(cache, std::move(key), tester,
+                                       uniform_source, far_source, max_trials,
+                                       seed, cfg, ThreadPool::global());
+}
+
+}  // namespace duti

@@ -1,0 +1,142 @@
+// Persistent, content-addressed cache of ProbeResults (DESIGN.md section 8).
+//
+// A probe is a deterministic function of (workload identity, tester
+// identity, searched parameter value, trial budget, seed, probe flavor,
+// engine version): re-running a bench re-runs the exact same probes. The
+// cache memoizes them across process runs, keyed by a fingerprint of that
+// tuple, storing ONLY the integer tallies — every derived field is rebuilt
+// through probe_result_from_tallies, so a cache hit is bit-identical to the
+// fresh computation.
+//
+// Storage is a JSONL file (one record per line) under a cache directory.
+// Corrupt or truncated lines are skipped on load (a torn final line from a
+// killed process must not poison the cache). Lookups verify the FULL key
+// fields, not just the fingerprint, so a fingerprint collision degrades to
+// a miss rather than a wrong result.
+//
+// The cache is OFF by default. Environment knobs:
+//   DUTI_CACHE     = off (default) | readonly | rw
+//   DUTI_CACHE_DIR = directory for the JSONL file (default ".duti_cache")
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/harness.hpp"
+
+namespace duti {
+
+/// Bumped whenever probe semantics change (seed derivation, tally rules,
+/// certificate logic, ...): stale cache entries from older engines then
+/// miss instead of silently serving results the current engine would not
+/// reproduce. Version 3 = the batched range engine with adaptive stopping.
+inline constexpr std::uint64_t kProbeEngineVersion = 3;
+
+/// Identity of one probe evaluation. `workload` and `tester` are canonical
+/// human-readable id strings (workload name + every parameter that shapes
+/// it); `flavor` distinguishes probe variants over the same tuple (e.g.
+/// "full" vs an adaptive config). Every field participates in the
+/// fingerprint and in the full-key equality check.
+struct ProbeKey {
+  std::string workload;  // workload id + params, e.g. "nuz:n=4096:eps=0.5"
+  std::string tester;    // tester id, e.g. "collision"
+  std::uint64_t param = 0;   // searched resource value (q, k, ...)
+  std::uint64_t trials = 0;  // trial budget
+  std::uint64_t seed = 0;
+  std::string flavor = "full";
+  std::uint64_t engine_version = kProbeEngineVersion;
+
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] bool operator==(const ProbeKey& other) const = default;
+};
+
+enum class CacheMode : std::uint8_t { kOff = 0, kReadOnly = 1, kReadWrite = 2 };
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+};
+
+class ProbeCache {
+ public:
+  /// Opens (and, for kReadWrite, creates) `dir`/probes.jsonl and loads every
+  /// parseable record. kOff skips all I/O.
+  ProbeCache(std::string dir, CacheMode mode);
+
+  /// Process-wide cache configured from DUTI_CACHE / DUTI_CACHE_DIR
+  /// (constructed on first use; defaults to kOff when DUTI_CACHE is unset).
+  static ProbeCache& global();
+
+  [[nodiscard]] CacheMode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return mode_ != CacheMode::kOff;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Full-key-verified lookup. Counts a hit or miss (no-op at kOff).
+  [[nodiscard]] std::optional<ProbeResult> lookup(const ProbeKey& key);
+
+  /// Record a result (kReadWrite only; no-op otherwise). Appends one JSONL
+  /// line and updates the in-memory index.
+  void insert(const ProbeKey& key, const ProbeResult& result);
+
+  /// lookup(), falling back to compute() + insert() on a miss. At kOff this
+  /// is exactly compute(). Thread-safe; compute runs outside the lock.
+  [[nodiscard]] ProbeResult get_or_compute(
+      const ProbeKey& key, const std::function<ProbeResult()>& compute);
+
+  [[nodiscard]] CacheStats stats() const;
+  void reset_stats();
+  /// Number of loaded/inserted records (testing aid).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Record {
+    ProbeKey key;
+    ProbeResult result;
+  };
+  void load();
+
+  std::string dir_;
+  std::string path_;
+  CacheMode mode_ = CacheMode::kOff;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::vector<Record>> index_;  // fingerprint -> records
+  CacheStats stats_;
+};
+
+/// Cache-aware probe entry points: consult `cache` under `key` (with
+/// key.trials / key.seed / key.flavor filled from the arguments), computing
+/// via the corresponding harness probe on a miss. With the cache off these
+/// are exactly the underlying probes.
+[[nodiscard]] ProbeResult probe_success_cached(
+    ProbeCache& cache, ProbeKey key, const TesterRun& tester,
+    const SourceSpec& uniform_source, const SourceSpec& far_source,
+    std::size_t trials, std::uint64_t seed);
+[[nodiscard]] ProbeResult probe_success_cached(
+    ProbeCache& cache, ProbeKey key, const TesterRun& tester,
+    const SourceSpec& uniform_source, const SourceSpec& far_source,
+    std::size_t trials, std::uint64_t seed, ThreadPool& pool);
+
+[[nodiscard]] ProbeResult probe_success_adaptive_cached(
+    ProbeCache& cache, ProbeKey key, const TesterRun& tester,
+    const SourceSpec& uniform_source, const SourceSpec& far_source,
+    std::size_t max_trials, std::uint64_t seed,
+    const AdaptiveProbeConfig& cfg = {});
+[[nodiscard]] ProbeResult probe_success_adaptive_cached(
+    ProbeCache& cache, ProbeKey key, const TesterRun& tester,
+    const SourceSpec& uniform_source, const SourceSpec& far_source,
+    std::size_t max_trials, std::uint64_t seed, const AdaptiveProbeConfig& cfg,
+    ThreadPool& pool);
+
+/// Canonical flavor string for an adaptive probe config (participates in
+/// the cache key: different stopping schedules are different probes).
+[[nodiscard]] std::string adaptive_flavor(const AdaptiveProbeConfig& cfg);
+
+}  // namespace duti

@@ -10,8 +10,9 @@
 namespace duti {
 
 CentralizedCollisionTester::CentralizedCollisionTester(std::uint64_t n,
-                                                       double eps, unsigned q)
-    : n_(n), eps_(eps), q_(q) {
+                                                       double eps, unsigned q,
+                                                       SamplingKernel kernel)
+    : n_(n), eps_(eps), q_(q), kernel_(kernel) {
   require(n >= 2, "CentralizedCollisionTester: n must be >= 2");
   require(eps > 0.0 && eps <= 1.0, "CentralizedCollisionTester: eps in (0,1]");
   require(q >= 2, "CentralizedCollisionTester: q must be >= 2");
@@ -37,18 +38,30 @@ bool CentralizedCollisionTester::accept(
   return static_cast<double>(collision_pairs(samples)) < threshold_;
 }
 
+bool CentralizedCollisionTester::accept_counts(
+    std::span<const std::uint64_t> counts) const {
+  require(counts.size() == n_, "CentralizedCollisionTester: wrong domain");
+  return static_cast<double>(collision_pairs_from_counts(counts)) < threshold_;
+}
+
 bool CentralizedCollisionTester::run(const SampleSource& source,
                                      Rng& rng) const {
   require(source.domain_size() == n_,
           "CentralizedCollisionTester: domain size mismatch");
+  if (kernel_ == SamplingKernel::kCounts) {
+    std::vector<std::uint64_t> counts;
+    source.sample_counts(rng, q_, counts);
+    return accept_counts(counts);
+  }
   std::vector<std::uint64_t> samples;
   source.sample_many(rng, q_, samples);
   return accept(samples);
 }
 
 PaninskiCoincidenceTester::PaninskiCoincidenceTester(std::uint64_t n,
-                                                     double eps, unsigned q)
-    : n_(n), eps_(eps), q_(q) {
+                                                     double eps, unsigned q,
+                                                     SamplingKernel kernel)
+    : n_(n), eps_(eps), q_(q), kernel_(kernel) {
   require(n >= 2, "PaninskiCoincidenceTester: n must be >= 2");
   require(eps > 0.0 && eps <= 1.0, "PaninskiCoincidenceTester: eps in (0,1]");
   require(q >= 2, "PaninskiCoincidenceTester: q must be >= 2");
@@ -74,17 +87,29 @@ bool PaninskiCoincidenceTester::accept(
   return static_cast<double>(distinct_values(samples)) > threshold_;
 }
 
+bool PaninskiCoincidenceTester::accept_counts(
+    std::span<const std::uint64_t> counts) const {
+  require(counts.size() == n_, "PaninskiCoincidenceTester: wrong domain");
+  return static_cast<double>(distinct_values_from_counts(counts)) > threshold_;
+}
+
 bool PaninskiCoincidenceTester::run(const SampleSource& source,
                                     Rng& rng) const {
   require(source.domain_size() == n_,
           "PaninskiCoincidenceTester: domain size mismatch");
+  if (kernel_ == SamplingKernel::kCounts) {
+    std::vector<std::uint64_t> counts;
+    source.sample_counts(rng, q_, counts);
+    return accept_counts(counts);
+  }
   std::vector<std::uint64_t> samples;
   source.sample_many(rng, q_, samples);
   return accept(samples);
 }
 
-ChiSquaredTester::ChiSquaredTester(std::uint64_t n, double eps, unsigned q)
-    : n_(n), eps_(eps), q_(q) {
+ChiSquaredTester::ChiSquaredTester(std::uint64_t n, double eps, unsigned q,
+                                   SamplingKernel kernel)
+    : n_(n), eps_(eps), q_(q), kernel_(kernel) {
   require(n >= 2, "ChiSquaredTester: n must be >= 2");
   require(eps > 0.0 && eps <= 1.0, "ChiSquaredTester: eps in (0,1]");
   require(q >= 2, "ChiSquaredTester: q must be >= 2");
@@ -116,13 +141,39 @@ double ChiSquaredTester::statistic(
   return stat;
 }
 
+double ChiSquaredTester::statistic_from_counts(
+    std::span<const std::uint64_t> counts) const {
+  require(counts.size() == n_, "ChiSquaredTester: wrong domain");
+  const double m = static_cast<double>(q_) / static_cast<double>(n_);
+  // Same accumulation as statistic(): start from the all-zero-count
+  // baseline (= q) and swap in each nonzero count's term, so both paths
+  // run the identical float operations per occupied element.
+  double stat = static_cast<double>(q_);
+  for (const std::uint64_t count : counts) {
+    if (count == 0) continue;
+    const double c = static_cast<double>(count);
+    stat += ((c - m) * (c - m) - c) / m - m;
+  }
+  return stat;
+}
+
 bool ChiSquaredTester::accept(std::span<const std::uint64_t> samples) const {
   return statistic(samples) < threshold_;
+}
+
+bool ChiSquaredTester::accept_counts(
+    std::span<const std::uint64_t> counts) const {
+  return statistic_from_counts(counts) < threshold_;
 }
 
 bool ChiSquaredTester::run(const SampleSource& source, Rng& rng) const {
   require(source.domain_size() == n_,
           "ChiSquaredTester: domain size mismatch");
+  if (kernel_ == SamplingKernel::kCounts) {
+    std::vector<std::uint64_t> counts;
+    source.sample_counts(rng, q_, counts);
+    return accept_counts(counts);
+  }
   std::vector<std::uint64_t> samples;
   source.sample_many(rng, q_, samples);
   return accept(samples);

@@ -12,13 +12,25 @@
 
 namespace duti {
 
+/// How a tester materializes its q draws (DESIGN.md section 8). The three
+/// centralized testers are count-only statistics, so they can consume a
+/// per-element histogram directly:
+///   kPerSample — sample_many + tally; the historical RNG stream.
+///   kCounts    — SampleSource::sample_counts multinomial kernels,
+///                O(min(n, q)) RNG work instead of O(q). Draws come from
+///                the same distribution but consume the RNG DIFFERENTLY, so
+///                per-trial outcomes (and thus measured ProbeResults) shift
+///                within statistical noise; opt-in for that reason.
+enum class SamplingKernel : std::uint8_t { kPerSample = 0, kCounts = 1 };
+
 /// Collision-count tester: accept iff the pair-collision count among the q
 /// samples is below the midpoint between the uniform expectation
 /// C(q,2)/n and the far-case floor C(q,2)(1+eps^2)/n.
 class CentralizedCollisionTester {
  public:
   /// Tester for universe size n and proximity eps, using q samples.
-  CentralizedCollisionTester(std::uint64_t n, double eps, unsigned q);
+  CentralizedCollisionTester(std::uint64_t n, double eps, unsigned q,
+                             SamplingKernel kernel = SamplingKernel::kPerSample);
 
   /// Number of samples sufficient for constant (2/3) success, with the
   /// constant `c` in q = c * sqrt(n)/eps^2 (empirically c ~ 3 suffices).
@@ -27,11 +39,15 @@ class CentralizedCollisionTester {
 
   [[nodiscard]] unsigned q() const noexcept { return q_; }
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] SamplingKernel kernel() const noexcept { return kernel_; }
 
   /// Decide from an explicit sample vector: true = accept (looks uniform).
   [[nodiscard]] bool accept(std::span<const std::uint64_t> samples) const;
 
-  /// Draw q samples from `source` and decide.
+  /// Decide from a per-element histogram of the q draws.
+  [[nodiscard]] bool accept_counts(std::span<const std::uint64_t> counts) const;
+
+  /// Draw q samples from `source` (via the configured kernel) and decide.
   [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const;
 
  private:
@@ -39,6 +55,7 @@ class CentralizedCollisionTester {
   double eps_;
   unsigned q_;
   double threshold_;
+  SamplingKernel kernel_;
 };
 
 /// Paninski's coincidence tester: with q <= sqrt(n) samples most values are
@@ -47,12 +64,15 @@ class CentralizedCollisionTester {
 /// independent baseline; both testers agree on who wins in every bench.
 class PaninskiCoincidenceTester {
  public:
-  PaninskiCoincidenceTester(std::uint64_t n, double eps, unsigned q);
+  PaninskiCoincidenceTester(std::uint64_t n, double eps, unsigned q,
+                            SamplingKernel kernel = SamplingKernel::kPerSample);
 
   [[nodiscard]] unsigned q() const noexcept { return q_; }
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] SamplingKernel kernel() const noexcept { return kernel_; }
 
   [[nodiscard]] bool accept(std::span<const std::uint64_t> samples) const;
+  [[nodiscard]] bool accept_counts(std::span<const std::uint64_t> counts) const;
   [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const;
 
  private:
@@ -60,6 +80,7 @@ class PaninskiCoincidenceTester {
   double eps_;
   unsigned q_;
   double threshold_;
+  SamplingKernel kernel_;
 };
 
 /// Chi-squared-style tester [Diakonikolas-Kane'16 / DGPP'18 flavour]:
@@ -70,15 +91,22 @@ class PaninskiCoincidenceTester {
 /// with a smaller constant in the dense regime (compared in bench E8).
 class ChiSquaredTester {
  public:
-  ChiSquaredTester(std::uint64_t n, double eps, unsigned q);
+  ChiSquaredTester(std::uint64_t n, double eps, unsigned q,
+                   SamplingKernel kernel = SamplingKernel::kPerSample);
 
   [[nodiscard]] unsigned q() const noexcept { return q_; }
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] SamplingKernel kernel() const noexcept { return kernel_; }
 
   /// The statistic itself (exposed for tests).
   [[nodiscard]] double statistic(std::span<const std::uint64_t> samples) const;
 
+  /// The statistic from a per-element histogram of the q draws.
+  [[nodiscard]] double statistic_from_counts(
+      std::span<const std::uint64_t> counts) const;
+
   [[nodiscard]] bool accept(std::span<const std::uint64_t> samples) const;
+  [[nodiscard]] bool accept_counts(std::span<const std::uint64_t> counts) const;
   [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const;
 
  private:
@@ -86,6 +114,7 @@ class ChiSquaredTester {
   double eps_;
   unsigned q_;
   double threshold_;
+  SamplingKernel kernel_;
 };
 
 }  // namespace duti

@@ -38,6 +38,13 @@ std::uint64_t collision_pairs_from_counts(
   return pairs;
 }
 
+std::uint64_t distinct_values_from_counts(
+    std::span<const std::uint64_t> counts) {
+  std::uint64_t distinct = 0;
+  for (const std::uint64_t c : counts) distinct += c > 0 ? 1 : 0;
+  return distinct;
+}
+
 std::uint64_t distinct_values(std::span<const std::uint64_t> samples) {
   std::vector<std::uint64_t>& sorted = tls_sort_scratch;
   sorted.assign(samples.begin(), samples.end());

@@ -32,6 +32,12 @@ namespace duti {
 [[nodiscard]] std::uint64_t distinct_values(
     std::span<const std::uint64_t> samples);
 
+/// Distinct values from an already-tallied histogram: #{i : c_i > 0}.
+/// O(domain) and allocation-free — the counts-kernel twin of
+/// distinct_values, mirroring collision_pairs_from_counts.
+[[nodiscard]] std::uint64_t distinct_values_from_counts(
+    std::span<const std::uint64_t> counts);
+
 /// ||mu||_2^2 = sum_i mu(i)^2, the per-pair collision probability.
 [[nodiscard]] double l2_norm_squared(const DiscreteDistribution& dist);
 

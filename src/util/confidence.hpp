@@ -36,6 +36,17 @@ struct Interval {
 /// P(|empirical - true| >= eps) <= 2 exp(-2 trials eps^2); returns that bound.
 [[nodiscard]] double hoeffding_tail(std::uint64_t trials, double eps);
 
+/// Standard normal quantile Phi^{-1}(p) for p in (0, 1) (Acklam's rational
+/// approximation, ~1e-9 absolute error). normal_quantile(0.975) ~ 1.96.
+[[nodiscard]] double normal_quantile(double p);
+
+/// The z multiplier that makes `checks` two-sided interval evaluations
+/// jointly valid with total failure probability at most `delta` (Bonferroni:
+/// each check runs at level delta/checks). This is what lets an adaptive
+/// probe peek at its Wilson intervals after every batch without the repeated
+/// looks eroding the certificate (DESIGN.md section 8).
+[[nodiscard]] double union_bound_z(double delta, std::uint64_t checks);
+
 /// Running binomial tally with convenience accessors.
 class SuccessCounter {
  public:

@@ -92,6 +92,49 @@ TEST(HoeffdingTail, DecreasesWithTrials) {
   EXPECT_LE(hoeffding_tail(1, 0.01), 1.0);
 }
 
+TEST(NormalQuantile, MatchesKnownValues) {
+  // Reference values of Phi^-1 to 4+ decimals (Acklam's approximation is
+  // accurate to ~1e-9 relative error).
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.95996398, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.995), 2.57582930, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.9999), 3.71901649, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.0013499), -3.0, 1e-3);
+}
+
+TEST(NormalQuantile, SymmetricAndMonotone) {
+  for (const double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9) << p;
+  }
+  double prev = normal_quantile(0.001);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double q = normal_quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NormalQuantile, RejectsDegenerateProbabilities) {
+  EXPECT_THROW((void)normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW((void)normal_quantile(1.0), InvalidArgument);
+  EXPECT_THROW((void)normal_quantile(-0.2), InvalidArgument);
+}
+
+TEST(UnionBoundZ, SinglePeekIsTheTwoSidedQuantile) {
+  EXPECT_NEAR(union_bound_z(0.05, 1), normal_quantile(0.975), 1e-9);
+}
+
+TEST(UnionBoundZ, GrowsWithPeekCountAndShrinkingDelta) {
+  // More peeks split the failure budget further, so each peek needs a
+  // wider interval; same for a smaller total delta.
+  EXPECT_GT(union_bound_z(0.05, 10), union_bound_z(0.05, 1));
+  EXPECT_GT(union_bound_z(0.001, 10), union_bound_z(0.05, 10));
+  // Growth is logarithmic: even thousands of peeks stay at a usable z.
+  EXPECT_LT(union_bound_z(1e-3, 10000), 6.0);
+  EXPECT_THROW((void)union_bound_z(0.0, 4), InvalidArgument);
+  EXPECT_THROW((void)union_bound_z(0.5, 0), InvalidArgument);
+}
+
 TEST(SuccessCounter, TallyAndRate) {
   SuccessCounter c;
   EXPECT_EQ(c.trials(), 0u);

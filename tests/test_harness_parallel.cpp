@@ -20,6 +20,10 @@ void expect_probe_equal(const ProbeResult& a, const ProbeResult& b) {
   EXPECT_DOUBLE_EQ(a.far_ci.lo, b.far_ci.lo);
   EXPECT_DOUBLE_EQ(a.far_ci.hi, b.far_ci.hi);
   EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.uniform_successes, b.uniform_successes);
+  EXPECT_EQ(a.far_successes, b.far_successes);
+  EXPECT_EQ(a.budget, b.budget);
+  EXPECT_EQ(a.stop, b.stop);
   EXPECT_EQ(a.uniform_aborts_quorum, b.uniform_aborts_quorum);
   EXPECT_EQ(a.uniform_aborts_timeout, b.uniform_aborts_timeout);
   EXPECT_EQ(a.far_aborts_quorum, b.far_aborts_quorum);
@@ -217,6 +221,210 @@ TEST(ParallelSearch, MedianMatchesSerial) {
     EXPECT_DOUBLE_EQ(find_min_param_median(make_probe, cfg, 5, pool),
                      reference);
   }
+}
+
+TEST(AdaptiveProbe, BitIdenticalAcrossThreadCounts) {
+  // The stopping point is decided from integer tallies at FIXED batch
+  // boundaries, so the adaptive result — including where it stopped — is
+  // bit-identical at any thread count (the DUTI_THREADS=1 vs 8 criterion).
+  const TesterRun tester = noisy_collision_tester();
+  ThreadPool serial(1);
+  const ProbeResult reference = probe_success_adaptive(
+      tester, workloads::uniform_factory(256),
+      workloads::paninski_far_factory(256, 0.5), 400, 11, {}, serial);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const ProbeResult parallel = probe_success_adaptive(
+        tester, workloads::uniform_factory(256),
+        workloads::paninski_far_factory(256, 0.5), 400, 11, {}, pool);
+    SCOPED_TRACE(threads);
+    expect_probe_equal(reference, parallel);
+  }
+}
+
+TEST(AdaptiveProbe, AgreesWithFullBudgetOnSeedSweep) {
+  // On instances away from the knife edge the certified verdict equals the
+  // full-budget verdict seed for seed (the certificate soundness claim).
+  const TesterRun easy = [](const SampleSource& source, Rng& rng) {
+    // Strong separation: far sources (l1 > 0) almost always rejected.
+    std::vector<std::uint64_t> samples;
+    source.sample_many(rng, 64, samples);
+    const double expected = expected_collision_pairs_uniform(
+        static_cast<double>(source.domain_size()), 64);
+    return static_cast<double>(collision_pairs(samples)) <= expected + 3.0;
+  };
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ProbeResult full = probe_success(
+        easy, workloads::uniform_factory(64),
+        workloads::paninski_far_factory(64, 1.0), 320, seed, pool);
+    const ProbeResult adaptive = probe_success_adaptive(
+        easy, workloads::uniform_factory(64),
+        workloads::paninski_far_factory(64, 1.0), 320, seed, {}, pool);
+    SCOPED_TRACE(seed);
+    EXPECT_EQ(full.passes(), adaptive.passes());
+    EXPECT_LE(adaptive.trials, adaptive.budget);
+    EXPECT_EQ(adaptive.budget, 320u);
+  }
+}
+
+TEST(AdaptiveProbe, StopsEarlyOnClearFailure) {
+  // A tester that always accepts never rejects far sources, so failure is
+  // obvious early. With a long budget the Wilson certificate fires first
+  // (0/64 far successes is delta-certifiably below 2/3); with a budget too
+  // short for confidence checks (first boundary < min_trials), the
+  // deterministic seal fires instead.
+  const TesterRun always_accept = [](const SampleSource&, Rng&) {
+    return true;
+  };
+  ThreadPool pool(2);
+  const ProbeResult confident = probe_success_adaptive(
+      always_accept, workloads::uniform_factory(64),
+      workloads::paninski_far_factory(64, 0.5), 300, 5, {}, pool);
+  EXPECT_TRUE(confident.early_stopped());
+  EXPECT_EQ(confident.stop, ProbeStop::kConfidence);
+  EXPECT_LT(confident.trials, confident.budget);
+  EXPECT_FALSE(confident.passes());
+  EXPECT_EQ(confident.trials % 32, 0u);  // stopped at a batch boundary
+
+  const ProbeResult sealed = probe_success_adaptive(
+      always_accept, workloads::uniform_factory(64),
+      workloads::paninski_far_factory(64, 0.5), 40, 5, {}, pool);
+  // At the only checkpoint (32 trials < min_trials ~ 35) confidence is not
+  // consulted, but 0 + 8 remaining < (2/3) * 40 seals the failure.
+  EXPECT_EQ(sealed.stop, ProbeStop::kDeterministic);
+  EXPECT_EQ(sealed.trials, 32u);
+  EXPECT_FALSE(sealed.passes());
+}
+
+TEST(AdaptiveProbe, ExMatchesBooleanProbe) {
+  // A TesterRunEx that never aborts must reproduce the boolean adaptive
+  // probe bit for bit (same seed derivation, same tallies).
+  const TesterRun tester = noisy_collision_tester();
+  const TesterRunEx ex = [&tester](const SampleSource& source, Rng& rng) {
+    return tester(source, rng) ? RefereeOutcome::kAccept
+                               : RefereeOutcome::kReject;
+  };
+  ThreadPool pool(4);
+  const ProbeResult b = probe_success_adaptive(
+      tester, workloads::uniform_factory(128),
+      workloads::paninski_far_factory(128, 0.5), 256, 19, {}, pool);
+  const ProbeResult e = probe_success_adaptive_ex(
+      ex, workloads::uniform_factory(128),
+      workloads::paninski_far_factory(128, 0.5), 256, 19, {}, pool);
+  expect_probe_equal(b, e);
+  EXPECT_EQ(e.aborts(), 0u);
+}
+
+TEST(AdaptiveSearch, BracketedSearchFindsTheSameMinimum) {
+  // Synthetic deterministic probes: both flavors agree on the cutoff, so
+  // the bracketed search must return exactly the full-budget minimum, at
+  // every thread count.
+  const ProbeFn full = [](std::uint64_t value) {
+    return probe_result_from_tallies(value >= 517 ? 100 : 10, 100, 100, 100,
+                                     ProbeStop::kExhausted);
+  };
+  // The bracket flavor agrees on the cutoff but reports early-stopped
+  // 64-trial tallies, so audit entries reveal which flavor produced them.
+  const ProbeFn bracket = [](std::uint64_t value) {
+    return probe_result_from_tallies(value >= 517 ? 64 : 6, 64, 64, 100,
+                                     ProbeStop::kConfidence);
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1 << 14;
+  cfg.adaptive_bracket = true;
+  ThreadPool serial(1);
+  const auto reference = find_min_param(full, cfg, serial);
+  ASSERT_TRUE(reference.found);
+  EXPECT_EQ(reference.minimum, 517u);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    SCOPED_TRACE(threads);
+    const auto bracketed = find_min_param(full, bracket, cfg, pool);
+    ASSERT_TRUE(bracketed.found);
+    EXPECT_EQ(bracketed.minimum, reference.minimum);
+    // The returned minimum carries full-budget evidence in the audit trail.
+    bool full_backed = false;
+    for (const auto& [value, probe] : bracketed.probes) {
+      if (value == bracketed.minimum && probe.trials == 100 &&
+          probe.passes()) {
+        full_backed = true;
+      }
+    }
+    EXPECT_TRUE(full_backed);
+  }
+}
+
+TEST(AdaptiveSearch, RefutedBracketMinimumResumesWithFullProbes) {
+  // The bracket probe is overly optimistic (passes from 60 up) while the
+  // full probe needs 100: the full-budget confirmation refutes the bracket
+  // minimum and the search must resume above it, still landing on 100.
+  const ProbeFn full = [](std::uint64_t value) {
+    return probe_result_from_tallies(value >= 100 ? 100 : 10, 100, 100, 100,
+                                     ProbeStop::kExhausted);
+  };
+  const ProbeFn bracket = [](std::uint64_t value) {
+    return probe_result_from_tallies(value >= 60 ? 64 : 6, 64, 64, 100,
+                                     ProbeStop::kConfidence);
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1 << 14;
+  cfg.adaptive_bracket = true;
+  for (const unsigned threads : {1u, 8u}) {
+    ThreadPool pool(threads);
+    SCOPED_TRACE(threads);
+    const auto result = find_min_param(full, bracket, cfg, pool);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.minimum, 100u);
+  }
+}
+
+TEST(AdaptiveSearch, BracketGiveUpIsConfirmedAtFullBudget) {
+  // The bracket probe never passes, but the full probe does: the search
+  // must not trust the bracket flavor's give-up at cfg.hi, and falls back
+  // to a full-budget search instead of reporting not-found.
+  const ProbeFn full = [](std::uint64_t value) {
+    return probe_result_from_tallies(value >= 100 ? 100 : 10, 100, 100, 100,
+                                     ProbeStop::kExhausted);
+  };
+  const ProbeFn bracket = [](std::uint64_t) {
+    return probe_result_from_tallies(6, 64, 64, 100, ProbeStop::kConfidence);
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 256;
+  cfg.adaptive_bracket = true;
+  ThreadPool pool(4);
+  const auto result = find_min_param(full, bracket, cfg, pool);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.minimum, 100u);
+  // And when the full probe also never passes, not-found stands.
+  const ProbeFn never = [](std::uint64_t) {
+    return probe_result_from_tallies(10, 100, 100, 100, ProbeStop::kExhausted);
+  };
+  const auto nothing = find_min_param(never, bracket, cfg, pool);
+  EXPECT_FALSE(nothing.found);
+}
+
+TEST(AdaptiveSearch, DisabledKnobIgnoresBracketProbe) {
+  // Without adaptive_bracket the bracket probe must never be consulted.
+  const ProbeFn full = [](std::uint64_t value) {
+    return probe_result_from_tallies(value >= 37 ? 100 : 10, 100, 100, 100,
+                                     ProbeStop::kExhausted);
+  };
+  const ProbeFn poison = [](std::uint64_t) -> ProbeResult {
+    throw InvalidArgument("bracket probe must not run");
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 4096;
+  cfg.adaptive_bracket = false;
+  ThreadPool serial(1);
+  const auto result = find_min_param(full, poison, cfg, serial);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.minimum, 37u);
 }
 
 TEST(ParallelProbe, DefaultOverloadUsesGlobalPool) {
