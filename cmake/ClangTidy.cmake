@@ -1,0 +1,27 @@
+# clang-tidy lane, gated on the tool being installed: the checked-in
+# .clang-tidy (bugprone-*, performance-*, modernize-use-override,
+# readability-container-size-empty) runs over compile_commands.json as the
+# CTest target `clang_tidy`. When clang-tidy is absent (e.g. the minimal CI
+# container only ships g++) the target is skipped with a status message —
+# duti_lint still guards the determinism contract either way.
+function(duti_add_clang_tidy_check)
+  find_program(DUTI_CLANG_TIDY NAMES clang-tidy clang-tidy-17 clang-tidy-16
+               clang-tidy-15 clang-tidy-14)
+  if(NOT DUTI_CLANG_TIDY)
+    message(STATUS "duti lint lane: clang-tidy not found, clang_tidy test disabled")
+    return()
+  endif()
+  if(NOT CMAKE_EXPORT_COMPILE_COMMANDS)
+    message(STATUS "duti lint lane: CMAKE_EXPORT_COMPILE_COMMANDS is OFF, clang_tidy test disabled")
+    return()
+  endif()
+  file(GLOB_RECURSE duti_tidy_sources CONFIGURE_DEPENDS
+       ${CMAKE_SOURCE_DIR}/src/*.cpp
+       ${CMAKE_SOURCE_DIR}/bench/*.cpp
+       ${CMAKE_SOURCE_DIR}/tests/*.cpp)
+  add_test(NAME clang_tidy
+    COMMAND ${DUTI_CLANG_TIDY} -p ${CMAKE_BINARY_DIR} --quiet
+            --warnings-as-errors=* ${duti_tidy_sources})
+  set_tests_properties(clang_tidy PROPERTIES LABELS "lint")
+  message(STATUS "duti lint lane: clang_tidy test enabled (${DUTI_CLANG_TIDY})")
+endfunction()

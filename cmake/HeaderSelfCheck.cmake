@@ -1,0 +1,38 @@
+# Header self-sufficiency check: compile every src/**/*.hpp standalone in
+# its own translation unit, so a header that silently leans on its
+# includer's includes fails the lint lane instead of a future refactor.
+#
+# The generated object library is EXCLUDE_FROM_ALL; the CTest target
+# `header_self_sufficiency` builds it on demand (and is labeled "lint" so
+# the lint preset picks it up alongside duti_lint).
+function(duti_add_header_self_check)
+  file(GLOB_RECURSE duti_headers RELATIVE ${CMAKE_SOURCE_DIR}/src
+       CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  set(check_tus "")
+  foreach(hdr IN LISTS duti_headers)
+    string(MAKE_C_IDENTIFIER ${hdr} hdr_id)
+    set(tu ${CMAKE_BINARY_DIR}/header_check/check_${hdr_id}.cpp)
+    # Only (re)write when the content would change, to keep rebuilds quiet.
+    set(tu_content "#include \"${hdr}\"  // self-sufficiency check TU\n")
+    if(EXISTS ${tu})
+      file(READ ${tu} tu_existing)
+    else()
+      set(tu_existing "")
+    endif()
+    if(NOT tu_existing STREQUAL tu_content)
+      file(WRITE ${tu} ${tu_content})
+    endif()
+    list(APPEND check_tus ${tu})
+  endforeach()
+
+  add_library(duti_header_check OBJECT EXCLUDE_FROM_ALL ${check_tus})
+  target_include_directories(duti_header_check PRIVATE ${CMAKE_SOURCE_DIR}/src)
+  find_package(Threads REQUIRED)
+  target_link_libraries(duti_header_check PRIVATE Threads::Threads)
+
+  add_test(NAME header_self_sufficiency
+    COMMAND ${CMAKE_COMMAND} --build ${CMAKE_BINARY_DIR}
+            --target duti_header_check)
+  set_tests_properties(header_self_sufficiency PROPERTIES LABELS "lint"
+    RUN_SERIAL TRUE)
+endfunction()

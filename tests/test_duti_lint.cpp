@@ -1,0 +1,306 @@
+// Tests for the duti-lint rule engine (tools/duti_lint). Each rule gets at
+// least one positive fixture (snippet that must be flagged) and one
+// negative (clean or out-of-scope snippet), plus coverage for suppression
+// parsing and the JSON report shape. Fixtures are raw string literals, so
+// the tree-wide `duti_lint` CTest pass does not see their contents.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace {
+
+using duti::lint::Finding;
+using duti::lint::LintReport;
+
+LintReport lint(const std::string& path, const std::string& content) {
+  LintReport report = duti::lint::make_report();
+  duti::lint::lint_source(path, content, report);
+  return report;
+}
+
+std::size_t count_rule(const LintReport& r, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(r.findings.begin(), r.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(Registry, RuleNamesAreUniqueAndDescribed) {
+  std::set<std::string> names;
+  for (const auto& rule : duti::lint::default_rules()) {
+    EXPECT_TRUE(names.insert(rule.name).second) << rule.name;
+    EXPECT_FALSE(rule.description.empty()) << rule.name;
+  }
+  EXPECT_GE(names.size(), 10u);
+}
+
+TEST(NoRandomDevice, FlagsUseInSrc) {
+  const auto r = lint("src/sim/net.cpp", R"(std::random_device rd;
+)");
+  EXPECT_EQ(count_rule(r, "no-random-device"), 1u);
+  EXPECT_EQ(r.findings[0].line, 1);
+}
+
+TEST(NoRandomDevice, OutOfScopePathIsClean) {
+  const auto r = lint("examples/demo.cpp", R"(std::random_device rd;
+)");
+  EXPECT_EQ(count_rule(r, "no-random-device"), 0u);
+}
+
+TEST(NoRand, FlagsRandAndSrand) {
+  const auto r = lint("src/a.cpp", R"(int x = rand();
+srand(42);
+)");
+  EXPECT_EQ(count_rule(r, "no-rand"), 2u);
+}
+
+TEST(NoRand, IdentifiersContainingRandAreClean) {
+  const auto r = lint("src/a.cpp", R"(int operand(int my_rand);
+)");
+  EXPECT_EQ(count_rule(r, "no-rand"), 0u);
+}
+
+TEST(NoWallClock, FlagsQualifiedNowAndTime) {
+  const auto r = lint("src/a.cpp",
+                      R"(auto t = std::chrono::steady_clock::now();
+auto u = Clock::now();
+auto v = time(nullptr);
+)");
+  EXPECT_EQ(count_rule(r, "no-wall-clock"), 3u);
+}
+
+TEST(NoWallClock, TestsDirIsOutOfScope) {
+  const auto r =
+      lint("tests/test_x.cpp", R"(auto t = std::chrono::steady_clock::now();
+)");
+  EXPECT_EQ(count_rule(r, "no-wall-clock"), 0u);
+}
+
+TEST(NoWallClock, TimePointTypesAreClean) {
+  const auto r = lint("src/a.cpp",
+                      R"(std::chrono::steady_clock::time_point deadline;
+double runtime(int x);
+)");
+  EXPECT_EQ(count_rule(r, "no-wall-clock"), 0u);
+}
+
+TEST(NoDefaultMt19937, FlagsDefaultConstruction) {
+  const auto r = lint("src/a.cpp", R"(std::mt19937 gen;
+std::mt19937_64 wide{};
+)");
+  EXPECT_EQ(count_rule(r, "no-default-mt19937"), 2u);
+}
+
+TEST(NoDefaultMt19937, ExplicitSeedIsClean) {
+  const auto r = lint("src/a.cpp", R"(std::mt19937 gen(seed);
+std::mt19937_64 wide{derive_seed(root, 3)};
+)");
+  EXPECT_EQ(count_rule(r, "no-default-mt19937"), 0u);
+}
+
+TEST(NoRawThread, FlagsThreadAsyncAndOpenmp) {
+  const auto r = lint("src/core/x.cpp", R"(std::thread t(work);
+auto f = std::async(work);
+#pragma omp parallel for
+)");
+  EXPECT_EQ(count_rule(r, "no-raw-thread"), 3u);
+}
+
+TEST(NoRawThread, ThreadPoolDirAndStaticsAreExempt) {
+  const auto pool = lint("src/util/thread_pool.cpp",
+                         R"(std::vector<std::thread> workers_;
+)");
+  EXPECT_EQ(count_rule(pool, "no-raw-thread"), 0u);
+  const auto statics = lint("src/core/x.cpp",
+                            R"(unsigned hw = std::thread::hardware_concurrency();
+)");
+  EXPECT_EQ(count_rule(statics, "no-raw-thread"), 0u);
+}
+
+TEST(NoUnorderedIteration, FlagsRangeForOverUnordered) {
+  const auto r = lint("src/stats/agg.cpp",
+                      R"(std::unordered_map<int, int> tally;
+for (const auto& kv : tally) sum += kv.second;
+)");
+  EXPECT_EQ(count_rule(r, "no-unordered-iteration"), 1u);
+  EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(NoUnorderedIteration, OrderedMapAndOtherDirsAreClean) {
+  const auto ordered = lint("src/stats/agg.cpp",
+                            R"(std::map<int, int> tally;
+for (const auto& kv : tally) sum += kv.second;
+)");
+  EXPECT_EQ(count_rule(ordered, "no-unordered-iteration"), 0u);
+  const auto elsewhere = lint("src/sim/agg.cpp",
+                              R"(std::unordered_map<int, int> tally;
+for (const auto& kv : tally) touch(kv);
+)");
+  EXPECT_EQ(count_rule(elsewhere, "no-unordered-iteration"), 0u);
+}
+
+TEST(NoFloatAccumulate, FlagsDoubleAccumulatorInStats) {
+  const auto r = lint("src/stats/agg.cpp", R"(double acc = 0.0;
+acc += weight(i);
+)");
+  EXPECT_EQ(count_rule(r, "no-float-accumulate"), 1u);
+  EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(NoFloatAccumulate, IntegerTalliesAreClean) {
+  const auto r = lint("src/stats/agg.cpp", R"(std::uint64_t tally = 0;
+tally += 1;
+)");
+  EXPECT_EQ(count_rule(r, "no-float-accumulate"), 0u);
+}
+
+TEST(NoFloatAccumulate, FloatLiteralRhsFlaggedWithoutDecl) {
+  const auto r = lint("src/stats/agg.cpp", R"(score += 0.5;
+)");
+  EXPECT_EQ(count_rule(r, "no-float-accumulate"), 1u);
+}
+
+TEST(PragmaOnce, MissingGuardIsFlaggedInHeadersOnly) {
+  const auto hdr = lint("src/core/x.hpp", R"(int f();
+)");
+  EXPECT_EQ(count_rule(hdr, "pragma-once"), 1u);
+  EXPECT_EQ(hdr.findings[0].line, 1);
+  const auto guarded = lint("src/core/x.hpp", R"(#pragma once
+int f();
+)");
+  EXPECT_EQ(count_rule(guarded, "pragma-once"), 0u);
+  const auto cpp = lint("src/core/x.cpp", R"(int f() { return 1; }
+)");
+  EXPECT_EQ(count_rule(cpp, "pragma-once"), 0u);
+}
+
+TEST(NoUsingNamespaceHeader, FlagsHeadersNotSources) {
+  const auto hdr = lint("src/core/x.hpp", R"(#pragma once
+using namespace std;
+)");
+  EXPECT_EQ(count_rule(hdr, "no-using-namespace-header"), 1u);
+  const auto cpp = lint("src/core/x.cpp", R"(using namespace duti;
+)");
+  EXPECT_EQ(count_rule(cpp, "no-using-namespace-header"), 0u);
+}
+
+TEST(NoSideEffectAssert, FlagsMutationsInAssert) {
+  const auto r = lint("src/core/x.cpp", R"(assert(x++ > 0);
+assert(n = next());
+)");
+  EXPECT_EQ(count_rule(r, "no-side-effect-assert"), 2u);
+}
+
+TEST(NoSideEffectAssert, ComparisonsAndStaticAssertAreClean) {
+  const auto r = lint("src/core/x.cpp", R"(assert(x == 1);
+assert(a <= b && c >= d && e != f);
+static_assert(sizeof(int) == 4);
+)");
+  EXPECT_EQ(count_rule(r, "no-side-effect-assert"), 0u);
+}
+
+TEST(Lexer, CommentsAndStringsAreInvisible) {
+  const auto r = lint("src/a.cpp",
+                      "// std::random_device in a comment\n"
+                      "/* std::rand() in a block comment */\n"
+                      "const char* s = \"std::random_device\";\n"
+                      "const char* raw = R\"(time(nullptr))\";\n");
+  EXPECT_TRUE(r.findings.empty()) << duti::lint::to_human(r);
+}
+
+TEST(Lexer, DigitSeparatorIsNotACharLiteral) {
+  // A naive lexer treats 1'000'000's quotes as char literals and swallows
+  // the rest of the line — which would hide the random_device after it.
+  const auto r = lint("src/a.cpp",
+                      R"(std::size_t n = 1'000'000; std::random_device rd;
+)");
+  EXPECT_EQ(count_rule(r, "no-random-device"), 1u);
+}
+
+TEST(Suppression, TrailingCommentWithJustificationSuppresses) {
+  const auto r = lint(
+      "src/a.cpp",
+      "auto t = time(nullptr);  // duti-lint: allow(no-wall-clock) -- fixture\n");
+  EXPECT_TRUE(r.findings.empty()) << duti::lint::to_human(r);
+  EXPECT_EQ(r.suppressions_used, 1u);
+}
+
+TEST(Suppression, StandaloneCommentCoversNextCodeLine) {
+  const auto r = lint("src/a.cpp",
+                      "// duti-lint: allow(no-wall-clock) -- multi-line\n"
+                      "// justification continues here\n"
+                      "auto t = time(nullptr);\n");
+  EXPECT_TRUE(r.findings.empty()) << duti::lint::to_human(r);
+  EXPECT_EQ(r.suppressions_used, 1u);
+}
+
+TEST(Suppression, FileScopeAllowCoversWholeFile) {
+  const auto r = lint("src/a.cpp",
+                      "// duti-lint: allow-file(no-wall-clock) -- fixture\n"
+                      "auto t = time(nullptr);\n"
+                      "auto u = Clock::now();\n");
+  EXPECT_TRUE(r.findings.empty()) << duti::lint::to_human(r);
+  EXPECT_EQ(r.suppressions_used, 2u);
+}
+
+TEST(Suppression, MissingJustificationIsAFindingAndDoesNotApply) {
+  const auto r = lint("src/a.cpp",
+                      "auto t = time(nullptr);  // duti-lint: allow(no-wall-clock)\n");
+  EXPECT_EQ(count_rule(r, "bare-suppression"), 1u);
+  EXPECT_EQ(count_rule(r, "no-wall-clock"), 1u);  // still reported
+  EXPECT_EQ(r.suppressions_used, 0u);
+}
+
+TEST(Suppression, UnknownRuleNameIsAFinding) {
+  const auto r = lint("src/a.cpp",
+                      "// duti-lint: allow(no-such-rule) -- justified\n"
+                      "int x = 0;\n");
+  EXPECT_EQ(count_rule(r, "unknown-rule"), 1u);
+}
+
+TEST(Suppression, WrongRuleDoesNotSuppressOtherFindings) {
+  const auto r = lint(
+      "src/a.cpp",
+      "auto t = time(nullptr);  // duti-lint: allow(no-rand) -- wrong rule\n");
+  EXPECT_EQ(count_rule(r, "no-wall-clock"), 1u);
+  EXPECT_EQ(r.suppressions_used, 0u);
+}
+
+TEST(Report, RuleCountsCoverFullRegistryIncludingZeros) {
+  const auto r = lint("src/a.cpp", R"(int x = rand();
+)");
+  for (const auto& rule : duti::lint::default_rules()) {
+    ASSERT_TRUE(r.rule_counts.count(rule.name)) << rule.name;
+  }
+  EXPECT_EQ(r.rule_counts.at("no-rand"), 1u);
+  EXPECT_EQ(r.rule_counts.at("no-random-device"), 0u);
+}
+
+TEST(Report, JsonShapeHasStableKeysAndAnchors) {
+  const auto r = lint("src/a.cpp", R"(int x = rand();
+)");
+  const std::string json = duti::lint::to_json(r);
+  EXPECT_NE(json.find("\"tool\": \"duti_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_findings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule_counts\""), std::string::npos);
+  EXPECT_NE(json.find("\"no-rand\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"no-wall-clock\": 0"), std::string::npos);
+  EXPECT_NE(json.find("{\"file\": \"src/a.cpp\", \"line\": 1, "
+                      "\"rule\": \"no-rand\""),
+            std::string::npos);
+}
+
+TEST(Report, HumanOutputAnchorsFileAndLine) {
+  const auto r = lint("src/a.cpp", R"(int x = rand();
+)");
+  const std::string human = duti::lint::to_human(r);
+  EXPECT_NE(human.find("src/a.cpp:1: [no-rand]"), std::string::npos);
+  EXPECT_NE(human.find("1 finding"), std::string::npos);
+}
+
+}  // namespace

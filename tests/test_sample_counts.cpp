@@ -219,7 +219,7 @@ TEST(BinomialSample, EdgeCases) {
   EXPECT_EQ(binomial_sample(rng, 0, 0.5), 0u);
   EXPECT_EQ(binomial_sample(rng, 100, 0.0), 0u);
   EXPECT_EQ(binomial_sample(rng, 100, 1.0), 100u);
-  EXPECT_THROW(binomial_sample(rng, 10, 1.5), InvalidArgument);
+  EXPECT_THROW((void)binomial_sample(rng, 10, 1.5), InvalidArgument);
 }
 
 TEST(BinomialSplitCounts, PreservesTotalOverRange) {

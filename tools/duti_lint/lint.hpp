@@ -1,0 +1,86 @@
+// duti-lint: a self-hosted determinism & hygiene linter for the duti tree.
+//
+// The measurement engine promises bit-identical probes at any DUTI_THREADS
+// and exact cache replay (DESIGN.md sections 7-8). That contract is easy to
+// break silently: one std::random_device, one wall-clock read inside a
+// tally, one iteration over an unordered container in a reduction, one
+// floating-point accumulator. duti-lint tokenizes the repo's sources
+// (comments and string/char literals stripped, line numbers preserved) and
+// enforces a registry of project invariants; see default_rules() for the
+// list and DESIGN.md section 9 for the rationale.
+//
+// Suppressions are inline comments with mandatory justification text:
+//
+//   code();  // duti-lint: allow(<rule>) -- why this use is deliberate
+//
+// A suppression comment on its own line applies to the next line. A
+// file-scoped variant disables a rule for the whole file:
+//
+//   // duti-lint: allow-file(<rule>) -- why the whole file is exempt
+//
+// A suppression with no "-- justification" text is itself a finding
+// (rule "bare-suppression"), so exemptions stay documented.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace duti::lint {
+
+/// One rule violation (or suppression-syntax error) at a file:line anchor.
+struct Finding {
+  std::string file;     ///< repo-relative path, forward slashes
+  int line = 0;         ///< 1-based; 0 for file-level findings
+  std::string rule;     ///< registry rule name, e.g. "no-wall-clock"
+  std::string message;  ///< human-readable explanation
+};
+
+/// A registry entry: name, rationale, and the path scopes it applies to.
+/// Scoping is prefix-based on the repo-relative path; an empty include list
+/// means "everywhere scanned". Excludes win over includes, which is how the
+/// thread-pool implementation itself escapes the raw-thread rule.
+struct Rule {
+  std::string name;
+  std::string description;
+  std::vector<std::string> include;  ///< path prefixes the rule applies to
+  std::vector<std::string> exclude;  ///< path prefixes exempt from the rule
+  bool headers_only = false;         ///< restrict to .hpp/.h files
+};
+
+/// The project rule registry (order is the report order).
+const std::vector<Rule>& default_rules();
+
+/// Aggregate result of linting one or more sources.
+struct LintReport {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressions_used = 0;
+  /// Finding count per registry rule; every rule is present (zero included)
+  /// so JSON consumers see the full registry.
+  std::map<std::string, std::size_t> rule_counts;
+};
+
+/// A report with rule_counts pre-seeded to zero for every registry rule.
+LintReport make_report();
+
+/// Lint a single in-memory source. `rel_path` determines rule scoping and
+/// is echoed in findings; `content` is the full file text. Appends to
+/// `report` (findings, counts, suppressions_used) and bumps files_scanned.
+void lint_source(const std::string& rel_path, const std::string& content,
+                 LintReport& report);
+
+/// Walk `rel_paths` (files or directories, relative to `root`), lint every
+/// .hpp/.h/.cpp found, and return the combined report. Findings are sorted
+/// by (file, line, rule).
+LintReport lint_tree(const std::string& root,
+                     const std::vector<std::string>& rel_paths);
+
+/// Render "file:line: [rule] message" lines plus a per-rule summary table.
+std::string to_human(const LintReport& report);
+
+/// Render the machine-readable report (stable key order, valid JSON).
+std::string to_json(const LintReport& report);
+
+}  // namespace duti::lint

@@ -1,0 +1,79 @@
+// Report renderers for duti-lint: human-readable (file:line anchors plus a
+// per-rule summary) and machine-readable JSON (stable key order, used by
+// BENCH_lint.json and any CI consumer).
+#include "lint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace duti::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_human(const LintReport& report) {
+  std::ostringstream out;
+  for (const auto& f : report.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  out << "\nduti-lint: " << report.findings.size() << " finding"
+      << (report.findings.size() == 1 ? "" : "s") << " in "
+      << report.files_scanned << " files ("
+      << report.suppressions_used << " justified suppression"
+      << (report.suppressions_used == 1 ? "" : "s") << " applied)\n";
+  for (const auto& [rule, count] : report.rule_counts) {
+    if (count > 0) out << "  " << rule << ": " << count << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const LintReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"duti_lint\",\n  \"schema_version\": 1,\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"suppressions_used\": " << report.suppressions_used << ",\n";
+  out << "  \"total_findings\": " << report.findings.size() << ",\n";
+  out << "  \"rule_counts\": {";
+  bool first = true;
+  for (const auto& [rule, count] : report.rule_counts) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(rule)
+        << "\": " << count;
+    first = false;
+  }
+  out << "\n  },\n  \"findings\": [";
+  first = true;
+  for (const auto& f : report.findings) {
+    out << (first ? "\n" : ",\n") << "    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \""
+        << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace duti::lint
