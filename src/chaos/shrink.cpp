@@ -1,0 +1,100 @@
+#include "chaos/shrink.hpp"
+
+#include <utility>
+
+namespace duti::chaos {
+
+namespace {
+
+/// Does `spec` still fail? Full pipeline, counted against the budget.
+[[nodiscard]] std::vector<Violation> violations_of(const ScenarioSpec& spec,
+                                                   const ChaosHooks& hooks,
+                                                   std::size_t& tried) {
+  ++tried;
+  return check_scenario(spec, hooks).violations;
+}
+
+[[nodiscard]] bool has_window(FaultComponent::Kind k) noexcept {
+  return k == FaultComponent::Kind::kOutage ||
+         k == FaultComponent::Kind::kDrop ||
+         k == FaultComponent::Kind::kCorrupt ||
+         k == FaultComponent::Kind::kDelay;
+}
+
+}  // namespace
+
+ShrinkResult shrink_failing(const ScenarioSpec& failing,
+                            const ChaosHooks& hooks) {
+  ShrinkResult result;
+  result.minimal = failing;
+  result.violations =
+      violations_of(result.minimal, hooks, result.scenarios_tried);
+  if (result.violations.empty()) {
+    result.token = serialize_token(result.minimal);
+    return result;  // not actually failing: nothing to shrink
+  }
+
+  // Pass 1: greedy component removal to one-minimality. Restart the scan
+  // after every successful removal — removing component A can make
+  // component B removable.
+  bool removed = true;
+  while (removed && result.minimal.components.size() > 1) {
+    removed = false;
+    for (std::size_t i = 0; i < result.minimal.components.size(); ++i) {
+      ScenarioSpec candidate = result.minimal;
+      candidate.components.erase(candidate.components.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      auto vs = violations_of(candidate, hooks, result.scenarios_tried);
+      if (!vs.empty()) {
+        result.minimal = std::move(candidate);
+        result.violations = std::move(vs);
+        removed = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: per-component simplification. Bisect fault windows (prefer
+  // the earlier half — failures near round 0 are easier to read) and snap
+  // crash rounds to 0.
+  for (std::size_t i = 0; i < result.minimal.components.size(); ++i) {
+    if (result.minimal.components[i].kind == FaultComponent::Kind::kCrash &&
+        result.minimal.components[i].lo != 0) {
+      ScenarioSpec candidate = result.minimal;
+      candidate.components[i].lo = 0;
+      auto vs = violations_of(candidate, hooks, result.scenarios_tried);
+      if (!vs.empty()) {
+        result.minimal = std::move(candidate);
+        result.violations = std::move(vs);
+      }
+    }
+    while (has_window(result.minimal.components[i].kind) &&
+           result.minimal.components[i].len > 1) {
+      const FaultComponent& c = result.minimal.components[i];
+      const std::uint32_t half = c.len / 2;
+      ScenarioSpec first = result.minimal;   // [lo, lo+half)
+      first.components[i].len = half;
+      ScenarioSpec second = result.minimal;  // [lo+len-half, lo+len)
+      second.components[i].lo = c.lo + c.len - half;
+      second.components[i].len = half;
+      auto vs = violations_of(first, hooks, result.scenarios_tried);
+      if (!vs.empty()) {
+        result.minimal = std::move(first);
+        result.violations = std::move(vs);
+        continue;
+      }
+      vs = violations_of(second, hooks, result.scenarios_tried);
+      if (!vs.empty()) {
+        result.minimal = std::move(second);
+        result.violations = std::move(vs);
+        continue;
+      }
+      break;  // neither half alone reproduces: the window is minimal
+    }
+  }
+
+  result.token = serialize_token(result.minimal);
+  return result;
+}
+
+}  // namespace duti::chaos

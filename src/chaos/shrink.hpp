@@ -1,0 +1,36 @@
+// Schedule shrinking: reduce a failing chaos schedule to a minimal
+// reproducer while preserving the failure.
+//
+// Two passes to fixpoint, delta-debugging style but exploiting the
+// schedule structure instead of treating it as an opaque list:
+//   1. greedy component removal — drop each fault component in turn and
+//      keep the removal whenever the shrunk schedule still violates an
+//      oracle (one-minimality: no single component can be removed);
+//   2. window bisection — for windowed components (outages, bursts),
+//      repeatedly try each half of the window, preferring the earlier
+//      half, and try snapping crash rounds to 0.
+// Every candidate is judged by the full oracle pipeline (run + token
+// replay + baseline + prediction), so the minimized token reproduces the
+// violation through exactly the path a user will take with --replay.
+#pragma once
+
+#include <cstddef>
+
+#include "chaos/engine.hpp"
+
+namespace duti::chaos {
+
+struct ShrinkResult {
+  ScenarioSpec minimal;
+  std::string token;                  // serialize_token(minimal)
+  std::vector<Violation> violations;  // what the minimal schedule violates
+  std::size_t scenarios_tried = 0;    // shrink cost, for the bench summary
+};
+
+/// Minimize `failing` (which must currently violate at least one oracle
+/// under `hooks`; if it does not, it is returned unchanged with empty
+/// violations).
+[[nodiscard]] ShrinkResult shrink_failing(const ScenarioSpec& failing,
+                                          const ChaosHooks& hooks = {});
+
+}  // namespace duti::chaos

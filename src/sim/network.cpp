@@ -178,6 +178,7 @@ NetworkStats Network::run(Rng& rng, unsigned max_rounds) {
         continue;
       }
       Rng node_rng = make_rng(rng(), v, round);
+      stats.messages_delivered += inboxes[v].size();
       RoundContext ctx(v, round, std::move(inboxes[v]), node_rng);
       behaviors_[v](ctx);
       if (ctx.halted()) halted[v] = 1;
@@ -193,21 +194,23 @@ NetworkStats Network::run(Rng& rng, unsigned max_rounds) {
             ++stats.messages_lost_to_outage;
             continue;
           }
-          Rng fault_rng = make_rng(rng(), 0xFA17ULL, v, m.to, round);
-          if (fault_rng.next_bernoulli(fault.drop_prob)) {
-            ++stats.messages_dropped;
-            continue;
-          }
-          if (!m.payload.empty() &&
-              fault_rng.next_bernoulli(fault.corrupt_prob)) {
-            corrupt_message(m, fault_rng);
-            ++stats.messages_corrupted;
-          }
-          if (fault.delay_prob > 0.0 &&
-              fault_rng.next_bernoulli(fault.delay_prob)) {
-            ++stats.messages_delayed;
-            delayed[round + 1 + fault.delay_rounds].push_back(std::move(m));
-            continue;
+          if (fault.in_burst(round)) {
+            Rng fault_rng = make_rng(rng(), 0xFA17ULL, v, m.to, round);
+            if (fault_rng.next_bernoulli(fault.drop_prob)) {
+              ++stats.messages_dropped;
+              continue;
+            }
+            if (!m.payload.empty() &&
+                fault_rng.next_bernoulli(fault.corrupt_prob)) {
+              corrupt_message(m, fault_rng);
+              ++stats.messages_corrupted;
+            }
+            if (fault.delay_prob > 0.0 &&
+                fault_rng.next_bernoulli(fault.delay_prob)) {
+              ++stats.messages_delayed;
+              delayed[round + 1 + fault.delay_rounds].push_back(std::move(m));
+              continue;
+            }
           }
         }
         next_inboxes[m.to].push_back(std::move(m));

@@ -83,6 +83,8 @@ struct NetworkStats {
   unsigned rounds_executed = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t bits_sent = 0;
+  std::uint64_t messages_delivered = 0;       // handed to an active node's
+                                              // inbox (corrupted included)
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_corrupted = 0;
   std::uint64_t messages_delayed = 0;         // deferred by a delay fault
@@ -97,6 +99,11 @@ struct NetworkStats {
     return messages_dropped + messages_lost_to_outage +
            messages_lost_to_halted;
   }
+  /// The conservation law the chaos oracles enforce: every sent message is
+  /// delivered to an active node or charged to exactly one loss bucket.
+  [[nodiscard]] bool conserves_messages() const noexcept {
+    return messages_sent == messages_delivered + messages_lost();
+  }
 };
 
 /// Fault model for a link. Each traversing message is independently:
@@ -107,15 +114,23 @@ struct NetworkStats {
 ///     inside the message's declared `bit_size` is flipped;
 ///  4. delayed with probability `delay_prob` — delivery deferred by
 ///     `delay_rounds` extra rounds.
-/// Faults draw from a stream derived from the run RNG, so faulty runs
-/// replay exactly too.
+/// The probabilistic faults (2-4) only fire when the send round falls in
+/// the burst window [burst_lo, burst_hi); the default window covers every
+/// round, so existing always-on fault models are unchanged. Faults draw
+/// from a stream derived from the run RNG, so faulty runs replay exactly
+/// too.
 struct LinkFault {
+  /// Sentinel for "burst never ends" — the default upper bound.
+  static constexpr unsigned kAlways = 0xFFFFFFFFu;
+
   double drop_prob = 0.0;
   double corrupt_prob = 0.0;
   double delay_prob = 0.0;
   unsigned delay_rounds = 1;
   unsigned outage_lo = 0;  // outage window [outage_lo, outage_hi); empty
   unsigned outage_hi = 0;  // when outage_lo >= outage_hi
+  unsigned burst_lo = 0;         // probabilistic faults fire only when the
+  unsigned burst_hi = kAlways;   // send round is in [burst_lo, burst_hi)
 
   [[nodiscard]] bool is_clean() const noexcept {
     return drop_prob == 0.0 && corrupt_prob == 0.0 && delay_prob == 0.0 &&
@@ -123,6 +138,9 @@ struct LinkFault {
   }
   [[nodiscard]] bool in_outage(unsigned round) const noexcept {
     return round >= outage_lo && round < outage_hi;
+  }
+  [[nodiscard]] bool in_burst(unsigned round) const noexcept {
+    return round >= burst_lo && round < burst_hi;
   }
 };
 

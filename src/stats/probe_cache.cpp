@@ -6,34 +6,53 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "util/error.hpp"
+#include "util/fnv.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DUTI_HAVE_FLOCK 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
 
 namespace duti {
 
 namespace {
 
-// FNV-1a, 64-bit: stable across platforms and runs (unlike std::hash).
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= bytes[i];
-    h *= kFnvPrime;
+/// Advisory exclusive lock on a lockfile, held for the object's lifetime.
+/// flock (not O_EXCL sentinel files) on purpose: the kernel releases the
+/// lock when the holder dies, so a SIGKILL'd writer cannot wedge every
+/// future cache user. On platforms without flock this degrades to
+/// lock-free appends (framing still detects any interleaving damage).
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+#ifdef DUTI_HAVE_FLOCK
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+#else
+    (void)path;
+    fd_ = 0;  // pretend held; framing is the only protection
+#endif
   }
-}
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock() {
+#ifdef DUTI_HAVE_FLOCK
+    if (fd_ >= 0) ::close(fd_);  // closing releases the flock
+#endif
+  }
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
 
-void fnv_string(std::uint64_t& h, const std::string& s) {
-  const std::uint64_t len = s.size();
-  fnv_bytes(h, &len, sizeof(len));  // length prefix: no field-concat aliasing
-  fnv_bytes(h, s.data(), s.size());
-}
-
-void fnv_u64(std::uint64_t& h, std::uint64_t v) {
-  fnv_bytes(h, &v, sizeof(v));
-}
+ private:
+  int fd_ = -1;
+};
 
 void append_json_string(std::string& out, const std::string& s) {
   out += '"';
@@ -172,36 +191,107 @@ bool parse_record(const std::string& line, ProbeKey& key, ProbeResult& result) {
 
 }  // namespace
 
+std::string probe_journal_frame(const std::string& json) {
+  char head[40];
+  std::snprintf(head, sizeof(head), "J1 %llu %016llx ",
+                static_cast<unsigned long long>(json.size()),
+                static_cast<unsigned long long>(fnv64(json)));
+  return head + json;
+}
+
+std::optional<std::string> probe_journal_decode(const std::string& line) {
+  // "J1 <decimal len> <16 hex digits> <json payload>"
+  if (line.rfind("J1 ", 0) != 0) return std::nullopt;
+  std::size_t at = 3;
+  std::uint64_t len = 0;
+  bool any_digit = false;
+  while (at < line.size() && line[at] >= '0' && line[at] <= '9') {
+    len = len * 10 + static_cast<std::uint64_t>(line[at] - '0');
+    if (len > line.size()) return std::nullopt;  // torn: claims too much
+    ++at;
+    any_digit = true;
+  }
+  if (!any_digit || at >= line.size() || line[at] != ' ') return std::nullopt;
+  ++at;
+  if (at + 16 >= line.size()) return std::nullopt;
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = line[at + i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+    checksum = (checksum << 4) | digit;
+  }
+  at += 16;
+  if (line[at] != ' ') return std::nullopt;
+  ++at;
+  const std::string payload = line.substr(at);
+  if (payload.size() != len) return std::nullopt;      // torn write
+  if (fnv64(payload) != checksum) return std::nullopt;  // bit rot / tear
+  return payload;
+}
+
 std::uint64_t ProbeKey::fingerprint() const {
-  std::uint64_t h = kFnvOffset;
-  fnv_string(h, workload);
-  fnv_string(h, tester);
-  fnv_u64(h, param);
-  fnv_u64(h, trials);
-  fnv_u64(h, seed);
-  fnv_string(h, flavor);
-  fnv_u64(h, engine_version);
-  return h;
+  Fnv64 h;
+  h.str(workload);
+  h.str(tester);
+  h.u64(param);
+  h.u64(trials);
+  h.u64(seed);
+  h.str(flavor);
+  h.u64(engine_version);
+  return h.value();
 }
 
 ProbeCache::ProbeCache(std::string dir, CacheMode mode)
     : dir_(std::move(dir)), mode_(mode) {
   if (!enabled()) return;
   path_ = (std::filesystem::path(dir_) / "probes.jsonl").string();
-  if (mode_ == CacheMode::kReadWrite) {
-    std::filesystem::create_directories(dir_);
+  lock_path_ = (std::filesystem::path(dir_) / "probes.lock").string();
+  if (this->mode() == CacheMode::kReadWrite) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      degrade("cache dir '" + dir_ + "' unavailable: " + ec.message());
+      return;
+    }
   }
   load();
 }
 
 void ProbeCache::load() {
-  std::ifstream in(path_);
-  if (!in) return;  // no file yet: empty cache
-  std::string line;
-  while (std::getline(in, line)) {
-    Record rec;
-    if (!parse_record(line, rec.key, rec.result)) continue;  // torn/corrupt
-    index_[rec.key.fingerprint()].push_back(std::move(rec));
+  std::size_t damaged = 0;
+  {
+    std::ifstream in(path_);
+    if (!in) return;  // no file yet: empty cache
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Record rec;
+      // Framed lines must verify; unframed lines are legacy records and
+      // must parse whole. Anything else is a torn/corrupt line: skipped
+      // now, scrubbed by the compaction below.
+      if (const auto payload = probe_journal_decode(line)) {
+        if (!parse_record(*payload, rec.key, rec.result)) {
+          ++damaged;
+          continue;
+        }
+      } else if (!parse_record(line, rec.key, rec.result)) {
+        ++damaged;
+        continue;
+      }
+      index_[rec.key.fingerprint()].push_back(std::move(rec));
+    }
+  }
+  if (damaged > 0 && mode() == CacheMode::kReadWrite) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    compact_locked();  // scrub the journal while we know it is dirty
   }
 }
 
@@ -244,14 +334,102 @@ std::optional<ProbeResult> ProbeCache::lookup(const ProbeKey& key) {
 }
 
 void ProbeCache::insert(const ProbeKey& key, const ProbeResult& result) {
-  if (mode_ != CacheMode::kReadWrite) return;
+  if (mode() != CacheMode::kReadWrite) return;
   const std::lock_guard<std::mutex> lock(mu_);
-  std::ofstream out(path_, std::ios::app);
-  if (out) {
-    out << serialize_record(key, result) << '\n';
+  if (mode() != CacheMode::kReadWrite) return;  // degraded concurrently
+  const FileLock file_lock(lock_path_);
+  if (!file_lock.held()) {
+    degrade("cannot lock '" + lock_path_ + "' (cache dir gone?)");
+    return;
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    if (out) {
+      out << probe_journal_frame(serialize_record(key, result)) << '\n';
+      out.flush();
+    }
+    if (!out) {
+      degrade("cannot append to '" + path_ + "'");
+      return;
+    }
   }
   index_[key.fingerprint()].push_back(Record{key, result});
   ++stats_.inserts;
+}
+
+void ProbeCache::compact() {
+  if (mode() != CacheMode::kReadWrite) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (mode() != CacheMode::kReadWrite) return;
+  compact_locked();
+}
+
+void ProbeCache::compact_locked() {
+  const FileLock file_lock(lock_path_);
+  if (!file_lock.held()) {
+    degrade("cannot lock '" + lock_path_ + "' (cache dir gone?)");
+    return;
+  }
+  // Merge: another process may have appended since our load. Records in
+  // the file that we do not hold (by full key) are kept, not clobbered.
+  std::map<std::uint64_t, std::vector<Record>> merged = index_;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      Record rec;
+      if (const auto payload = probe_journal_decode(line)) {
+        if (!parse_record(*payload, rec.key, rec.result)) continue;
+      } else if (!parse_record(line, rec.key, rec.result)) {
+        continue;
+      }
+      auto& bucket = merged[rec.key.fingerprint()];
+      bool known = false;
+      for (const Record& have : bucket) {
+        if (have.key == rec.key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) bucket.push_back(std::move(rec));
+    }
+  }
+  // Tmp file + rename: readers and crash victims see either the old
+  // journal or the complete new one, never a half-written file.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) {
+      for (const auto& [fp, bucket] : merged) {
+        (void)fp;
+        for (const Record& rec : bucket) {
+          out << probe_journal_frame(serialize_record(rec.key, rec.result))
+              << '\n';
+        }
+      }
+      out.flush();
+    }
+    if (!out) {
+      degrade("cannot write '" + tmp + "'");
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    degrade("cannot rename '" + tmp + "': " + ec.message());
+    return;
+  }
+  index_ = std::move(merged);
+}
+
+void ProbeCache::degrade(const std::string& why) {
+  mode_.store(CacheMode::kOff, std::memory_order_relaxed);
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr, "duti: probe cache disabled: %s\n", why.c_str());
+  }
 }
 
 ProbeResult ProbeCache::get_or_compute(

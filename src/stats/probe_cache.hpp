@@ -8,17 +8,30 @@
 // through probe_result_from_tallies, so a cache hit is bit-identical to the
 // fresh computation.
 //
-// Storage is a JSONL file (one record per line) under a cache directory.
-// Corrupt or truncated lines are skipped on load (a torn final line from a
-// killed process must not poison the cache). Lookups verify the FULL key
+// Storage is a crash-safe append journal under a cache directory. Each
+// line frames one JSON record with an explicit length and FNV-1a checksum:
+//
+//   J1 <payload-len> <fnv64-hex> <json>
+//
+// so a SIGKILL mid-write can tear at most the final line, and the tear is
+// DETECTED (length or checksum mismatch), never silently half-parsed.
+// Unframed legacy lines are still accepted when their JSON parses whole.
+// Corrupt or truncated lines are skipped on load and scrubbed by an
+// atomic tmp-file+rename compaction. Writers serialize through a flock'd
+// lockfile (`probes.lock`) — advisory locks die with the process, so a
+// killed writer never wedges the cache. Lookups verify the FULL key
 // fields, not just the fingerprint, so a fingerprint collision degrades to
 // a miss rather than a wrong result.
 //
+// An unwritable or vanished cache directory is not an error: the cache
+// warns once on stderr and degrades to kOff (probes just compute).
+//
 // The cache is OFF by default. Environment knobs:
 //   DUTI_CACHE     = off (default) | readonly | rw
-//   DUTI_CACHE_DIR = directory for the JSONL file (default ".duti_cache")
+//   DUTI_CACHE_DIR = directory for the journal (default ".duti_cache")
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -73,18 +86,26 @@ class ProbeCache {
   /// (constructed on first use; defaults to kOff when DUTI_CACHE is unset).
   static ProbeCache& global();
 
-  [[nodiscard]] CacheMode mode() const noexcept { return mode_; }
+  [[nodiscard]] CacheMode mode() const noexcept {
+    return mode_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled() const noexcept {
-    return mode_ != CacheMode::kOff;
+    return mode() != CacheMode::kOff;
   }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
   /// Full-key-verified lookup. Counts a hit or miss (no-op at kOff).
   [[nodiscard]] std::optional<ProbeResult> lookup(const ProbeKey& key);
 
-  /// Record a result (kReadWrite only; no-op otherwise). Appends one JSONL
-  /// line and updates the in-memory index.
+  /// Record a result (kReadWrite only; no-op otherwise). Appends one
+  /// framed journal line under the lockfile and updates the in-memory
+  /// index. An I/O failure degrades the cache to kOff (warned once).
   void insert(const ProbeKey& key, const ProbeResult& result);
+
+  /// Rewrite the journal as one framed record per cached key (merged with
+  /// any records other processes appended since load), via tmp file +
+  /// atomic rename under the lockfile. kReadWrite only.
+  void compact();
 
   /// lookup(), falling back to compute() + insert() on a miss. At kOff this
   /// is exactly compute(). Thread-safe; compute runs outside the lock.
@@ -102,14 +123,27 @@ class ProbeCache {
     ProbeResult result;
   };
   void load();
+  void compact_locked();                // requires mu_ held
+  void degrade(const std::string& why);  // requires mu_ held
 
   std::string dir_;
   std::string path_;
-  CacheMode mode_ = CacheMode::kOff;
+  std::string lock_path_;
+  std::atomic<CacheMode> mode_{CacheMode::kOff};
+  bool warned_ = false;
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::vector<Record>> index_;  // fingerprint -> records
   CacheStats stats_;
 };
+
+/// Verify one journal line's framing (`J1 <len> <fnv64-hex> <json>`) and
+/// return the JSON payload, or nullopt if the line is unframed, torn, or
+/// checksum-corrupt. Exposed so crash tests can audit a journal directly.
+[[nodiscard]] std::optional<std::string> probe_journal_decode(
+    const std::string& line);
+
+/// Frame a JSON payload as a journal line (without the trailing newline).
+[[nodiscard]] std::string probe_journal_frame(const std::string& json);
 
 /// Cache-aware probe entry points: consult `cache` under `key` (with
 /// key.trials / key.seed / key.flavor filled from the arguments), computing

@@ -1,0 +1,61 @@
+// FNV-1a, 64-bit: a tiny, platform-stable content hash (unlike std::hash,
+// whose value is implementation-defined). Used wherever the repo needs a
+// fingerprint that must agree across runs, processes, and machines: the
+// probe-cache record checksums, the chaos engine's run fingerprints, and
+// the cache-key fingerprint.
+//
+// Not cryptographic — these are integrity/identity checks against
+// accidental corruption and divergence, not an adversary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace duti {
+
+/// Incremental FNV-1a accumulator. Multi-field hashes length-prefix
+/// variable-width fields (see `str`) so field concatenations cannot alias.
+class Fnv64 {
+ public:
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+  Fnv64& bytes(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h_ ^= p[i];
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv64& u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {  // explicit LE bytes: endian-stable
+      h_ ^= (v >> (8 * i)) & 0xFFu;
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv64& str(const std::string& s) noexcept {
+    u64(s.size());  // length prefix: no field-concat aliasing
+    return bytes(s.data(), s.size());
+  }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h_ = kOffset;
+};
+
+/// One-shot convenience for hashing a byte range.
+[[nodiscard]] inline std::uint64_t fnv64(const void* data,
+                                         std::size_t len) noexcept {
+  return Fnv64().bytes(data, len).value();
+}
+
+[[nodiscard]] inline std::uint64_t fnv64(const std::string& s) noexcept {
+  return fnv64(s.data(), s.size());
+}
+
+}  // namespace duti

@@ -202,6 +202,37 @@ static_assert(sizeof(int) == 4);
   EXPECT_EQ(count_rule(r, "no-side-effect-assert"), 0u);
 }
 
+TEST(NoExitInLibrary, FlagsProcessKillersUnderSrc) {
+  const auto r = lint("src/stats/cache.cpp", R"(std::exit(1);
+abort();
+std::terminate();
+quick_exit(0);
+std::_Exit(2);
+)");
+  EXPECT_EQ(count_rule(r, "no-exit-in-library"), 5u);
+}
+
+TEST(NoExitInLibrary, ErrorHeaderTestsAndLookalikesAreClean) {
+  // The designated fatal-handler header is the one sanctioned home.
+  EXPECT_EQ(count_rule(lint("src/util/error.hpp", R"(std::abort();
+)"),
+                       "no-exit-in-library"),
+            0u);
+  // Tests and benches may exit; the rule guards the library only.
+  EXPECT_EQ(count_rule(lint("tests/t.cpp", R"(exit(1);
+)"),
+                       "no-exit-in-library"),
+            0u);
+  // Identifiers that merely contain a killer name are not calls.
+  EXPECT_EQ(count_rule(lint("src/a.cpp", R"(void on_exit_hook();
+int exit_code = worker_exit;
+set_terminate(handler);
+bool aborted = was_aborted(run);
+)"),
+                       "no-exit-in-library"),
+            0u);
+}
+
 TEST(Lexer, CommentsAndStringsAreInvisible) {
   const auto r = lint("src/a.cpp",
                       "// std::random_device in a comment\n"

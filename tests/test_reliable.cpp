@@ -185,6 +185,38 @@ TEST(ReliableConvergecast, GridCrashTriggersSelfHealingReparent) {
   EXPECT_DOUBLE_EQ(result.delivery_fraction(), 7.0 / 16.0);
 }
 
+TEST(ReliableConvergecast, ConservesMessagesUnderStackedFaults) {
+  // Chaos-engine invariant (DESIGN.md section 10): every message sent is
+  // either delivered or accounted lost, even when corruption bursts, an
+  // outage window, delay, and a mid-run crash all stack in one run.
+  Network net(12);
+  add_grid(net, 3, 4);
+  const auto tree = bfs_spanning_tree(net, 0);
+  LinkFault noisy;
+  noisy.corrupt_prob = 0.3;  // corruption delivers (scrambled), drop loses
+  noisy.drop_prob = 0.2;
+  noisy.delay_prob = 0.25;
+  noisy.delay_rounds = 2;
+  net.set_link_fault(1, 0, noisy);
+  LinkFault dark;
+  dark.outage_lo = 0;
+  dark.outage_hi = 6;
+  net.set_link_fault(4, 0, dark);
+  net.schedule_crash(7, 2);
+  std::vector<std::uint64_t> values(12, 1);
+  Rng rng(7707);
+  const auto result = convergecast_sum_reliable(net, tree, values, 16, rng);
+  EXPECT_TRUE(result.stats.conserves_messages())
+      << "sent=" << result.stats.messages_sent
+      << " delivered=" << result.stats.messages_delivered
+      << " lost=" << result.stats.messages_lost();
+  EXPECT_GT(result.stats.messages_delivered, 0u);
+  EXPECT_GT(result.stats.messages_lost(), 0u);  // the faults really fired
+  // The transport's own ledger must close too.
+  EXPECT_EQ(result.transport.payload_bits + result.transport.overhead_bits,
+            result.stats.bits_sent);
+}
+
 TEST(ReliableConvergecast, DeterministicUnderFixedSeed) {
   auto run_once = [](std::uint64_t seed) {
     Network net(12);

@@ -266,6 +266,11 @@ std::vector<Rule> build_rules() {
       {"no-side-effect-assert",
        "assert() with side effects changes behavior under NDEBUG",
        {"src/", "tests/", "bench/"}, {}, false},
+      {"no-exit-in-library",
+       "library code must not call exit/abort/terminate: it kills the "
+       "embedding process (and every in-flight cache write); throw a duti "
+       "error and let the binary's edge decide",
+       {"src/"}, {"src/util/error.hpp"}, false},
       // Meta rules, emitted by the suppression parser itself.
       {"bare-suppression",
        "duti-lint suppressions must carry '-- <justification>' text",
@@ -563,6 +568,26 @@ void check_side_effect_assert(const std::string& file,
   }
 }
 
+void check_exit_in_library(const std::string& file,
+                           const std::vector<Line>& lines, RawFindings& out) {
+  // Word-boundary matching keeps identifiers like my_exit or set_terminate
+  // clean; only a call-shaped use (name followed by '(') is process death.
+  static const char* const kKillers[] = {"exit", "_Exit", "quick_exit",
+                                         "abort", "terminate"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    for (const char* word : kKillers) {
+      if (word_followed_by(code, word, '(')) {
+        add(out, file, static_cast<int>(i + 1), "no-exit-in-library",
+            std::string(word) +
+                "() in library code kills the embedding process; throw a "
+                "duti error and decide at the binary's edge");
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& default_rules() {
@@ -604,6 +629,8 @@ void lint_source(const std::string& rel_path, const std::string& content,
     check_using_namespace_header(rel_path, lines, raw);
   if (enabled("no-side-effect-assert"))
     check_side_effect_assert(rel_path, lines, raw);
+  if (enabled("no-exit-in-library"))
+    check_exit_in_library(rel_path, lines, raw);
 
   // Collect suppressions; malformed ones are themselves findings.
   std::set<std::string> file_allowed;                 // rule -> whole file
