@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/kernels.hpp"
 
 namespace duti {
 
@@ -66,7 +67,10 @@ std::uint64_t NuZ::sample(Rng& rng) const noexcept {
 void NuZ::sample_many(Rng& rng, std::size_t count,
                       std::vector<std::uint64_t>& out) const {
   out.resize(count);
-  for (auto& e : out) e = sample(rng);
+  // Batched kernel: vectorized heavy/light classification with the RNG
+  // consumed exactly like `count` repeated sample() calls (two raw draws
+  // per sample, in sample order) — bit-identical at every SimdLevel.
+  kernels::nuz_sample_many(rng, z_.words(), domain_.ell(), eps_, out);
 }
 
 DiscreteDistribution NuZ::to_distribution(std::size_t max_cells) const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/math.hpp"
@@ -11,7 +13,10 @@ namespace duti {
 bool is_evenly_covered(std::span<const std::uint64_t> x,
                        std::uint64_t s_mask) {
   // XOR-style parity tracking with a small scratch vector: collect values at
-  // the masked positions, sort, and check run lengths are even.
+  // the masked positions, sort, and check run lengths are even. Masks are
+  // tiny in the moment sweeps (|S| = 2r), where std::sort's dispatch
+  // overhead dominates — insertion sort wins below ~16 elements (measured
+  // in bench/micro_kernels) and produces the same ordering.
   std::uint64_t scratch[64];
   std::size_t count = 0;
   for (std::size_t j = 0; j < x.size(); ++j) {
@@ -20,7 +25,19 @@ bool is_evenly_covered(std::span<const std::uint64_t> x,
       scratch[count++] = x[j];
     }
   }
-  std::sort(scratch, scratch + count);
+  if (count <= 16) {
+    for (std::size_t i = 1; i < count; ++i) {
+      const std::uint64_t v = scratch[i];
+      std::size_t j = i;
+      while (j > 0 && scratch[j - 1] > v) {
+        scratch[j] = scratch[j - 1];
+        --j;
+      }
+      scratch[j] = v;
+    }
+  } else {
+    std::sort(scratch, scratch + count);
+  }
   for (std::size_t i = 0; i < count;) {
     std::size_t run = 1;
     while (i + run < count && scratch[i + run] == scratch[i]) ++run;
@@ -30,6 +47,16 @@ bool is_evenly_covered(std::span<const std::uint64_t> x,
   return true;
 }
 
+namespace {
+// log(exp(a) + exp(b)) without overflow; identities with -inf hold.
+double log_add_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = std::max(a, b);
+  return hi + std::log1p(std::exp(std::min(a, b) - hi));
+}
+}  // namespace
+
 double count_even_sequences(std::uint64_t alphabet, unsigned m) {
   require(alphabet >= 1, "count_even_sequences: alphabet must be non-empty");
   if (m % 2 != 0) return 0.0;
@@ -37,20 +64,65 @@ double count_even_sequences(std::uint64_t alphabet, unsigned m) {
   // number of times so far. From state j, appending one of the j "odd"
   // letters moves to j-1; appending one of the (alphabet - j) "even"
   // letters moves to j+1. Sequences are counted exactly because each
-  // transition chooses a concrete letter.
-  std::vector<double> ways(m + 1, 0.0);
-  ways[0] = 1.0;
-  const auto a = static_cast<double>(alphabet);
+  // transition chooses a concrete letter. Counts are accumulated in 128-bit
+  // integers, so the only rounding is the final conversion to double; if
+  // any intermediate would overflow 128 bits, the whole DP restarts in
+  // log-space (count_even_sequences_log).
+  std::vector<__uint128_t> ways(m + 1, 0);
+  std::vector<__uint128_t> next(m + 1, 0);
+  ways[0] = 1;
   for (unsigned pos = 0; pos < m; ++pos) {
-    std::vector<double> next(m + 1, 0.0);
+    std::fill(next.begin(), next.end(), __uint128_t{0});
     for (unsigned j = 0; j <= std::min(pos, m); ++j) {
-      if (ways[j] == 0.0) continue;
-      if (j >= 1) next[j - 1] += ways[j] * static_cast<double>(j);
-      if (j + 1 <= m && static_cast<double>(j) < a) {
-        next[j + 1] += ways[j] * (a - static_cast<double>(j));
+      if (ways[j] == 0) continue;
+      __uint128_t term = 0;
+      if (j >= 1) {
+        if (__builtin_mul_overflow(ways[j], static_cast<__uint128_t>(j),
+                                   &term) ||
+            __builtin_add_overflow(next[j - 1], term, &next[j - 1])) {
+          return std::exp(count_even_sequences_log(alphabet, m));
+        }
+      }
+      if (j + 1 <= m && j < alphabet) {
+        if (__builtin_mul_overflow(ways[j],
+                                   static_cast<__uint128_t>(alphabet - j),
+                                   &term) ||
+            __builtin_add_overflow(next[j + 1], term, &next[j + 1])) {
+          return std::exp(count_even_sequences_log(alphabet, m));
+        }
       }
     }
-    ways = std::move(next);
+    ways.swap(next);
+  }
+  return static_cast<double>(ways[0]);
+}
+
+double count_even_sequences_log(std::uint64_t alphabet, unsigned m) {
+  require(alphabet >= 1,
+          "count_even_sequences_log: alphabet must be non-empty");
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  if (m % 2 != 0) return kNegInf;
+  // Same DP in log-space: exact counting gives way to one log-sum-exp
+  // rounding per transition, but any alphabet/length fits in a double's
+  // exponent range.
+  std::vector<double> ways(m + 1, kNegInf);
+  std::vector<double> next(m + 1, kNegInf);
+  ways[0] = 0.0;
+  for (unsigned pos = 0; pos < m; ++pos) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (unsigned j = 0; j <= std::min(pos, m); ++j) {
+      if (ways[j] == kNegInf) continue;
+      if (j >= 1) {
+        next[j - 1] =
+            log_add_exp(next[j - 1], ways[j] + std::log(static_cast<double>(j)));
+      }
+      if (j + 1 <= m && j < alphabet) {
+        next[j + 1] = log_add_exp(
+            next[j + 1],
+            ways[j] + std::log(static_cast<double>(alphabet - j)));
+      }
+    }
+    ways.swap(next);
   }
   return ways[0];
 }

@@ -26,9 +26,18 @@ namespace duti {
                                      std::uint64_t s_mask);
 
 /// Number of sequences of length m over an alphabet of size `alphabet` in
-/// which every letter appears an even number of times. Exact DP; returned
-/// as double (exact up to 2^53, adequate for all bound comparisons).
+/// which every letter appears an even number of times. The DP accumulates
+/// in 128-bit integers, so the returned double is the correctly-rounded
+/// exact count whenever it fits 128 bits; past that the computation falls
+/// back to log-space (one rounding per transition) and may return inf only
+/// when the count exceeds double range.
 [[nodiscard]] double count_even_sequences(std::uint64_t alphabet, unsigned m);
+
+/// Natural log of the same count, computed in log-space throughout
+/// (-inf for odd m, where the count is zero). Usable at alphabet/length
+/// combinations whose counts overflow any fixed-width integer.
+[[nodiscard]] double count_even_sequences_log(std::uint64_t alphabet,
+                                              unsigned m);
 
 /// |X_S| for |S| = s_size on domain side 2^ell with q samples:
 /// count_even_sequences(2^ell, s_size) * (2^ell)^(q - s_size).

@@ -20,6 +20,7 @@
 #include "dist/discrete_distribution.hpp"
 #include "dist/nu_z.hpp"
 #include "util/error.hpp"
+#include "util/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace duti {
@@ -62,7 +63,7 @@ class SampleSource {
     counts.assign(domain_size(), 0);
     static thread_local std::vector<std::uint64_t> scratch;
     sample_many(rng, draws, scratch);
-    for (const std::uint64_t s : scratch) ++counts[s];
+    kernels::tally(scratch, counts);
   }
 
  protected:
@@ -85,7 +86,7 @@ class UniformSource final : public SampleSource {
   void sample_many(Rng& rng, std::size_t count,
                    std::vector<std::uint64_t>& out) const override {
     out.resize(count);
-    for (auto& s : out) s = rng.next_below(n_);
+    kernels::uniform_sample_many(rng, n_, out);
   }
   /// Counts kernel: when draws dominate the domain, split the multinomial
   /// recursively with exact binomial draws — O(n) binomial draws instead of

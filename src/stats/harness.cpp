@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/kernels.hpp"
 #include "util/math.hpp"
 
 namespace duti {
@@ -34,24 +35,37 @@ ProbeResult probe_result_from_tallies(std::uint64_t uniform_successes,
 
 namespace {
 
-// Partial tallies for one chunk of trials. All fields are integer counts,
-// so merging chunks in chunk order reproduces the serial tally exactly.
+// Partial tallies for one chunk of trials, stored as one flat array of
+// integer counts so chunk reduction is a single kernels::add_u64 pass.
+// Merging chunks in chunk order reproduces the serial tally exactly
+// (integer addition, no rounding).
 struct ChunkTally {
-  SuccessCounter uniform_accepts;
-  SuccessCounter far_rejects;
-  std::uint64_t uniform_aborts_quorum = 0;
-  std::uint64_t uniform_aborts_timeout = 0;
-  std::uint64_t far_aborts_quorum = 0;
-  std::uint64_t far_aborts_timeout = 0;
+  enum Field : std::size_t {
+    kUniformSuccesses = 0,
+    kUniformTrials,
+    kFarSuccesses,
+    kFarTrials,
+    kUniformAbortsQuorum,
+    kUniformAbortsTimeout,
+    kFarAbortsQuorum,
+    kFarAbortsTimeout,
+    kFieldCount,
+  };
+  std::array<std::uint64_t, kFieldCount> counts{};
 
-  void merge(const ChunkTally& other) noexcept {
-    uniform_accepts.merge(other.uniform_accepts);
-    far_rejects.merge(other.far_rejects);
-    uniform_aborts_quorum += other.uniform_aborts_quorum;
-    uniform_aborts_timeout += other.uniform_aborts_timeout;
-    far_aborts_quorum += other.far_aborts_quorum;
-    far_aborts_timeout += other.far_aborts_timeout;
+  std::uint64_t& operator[](Field f) noexcept { return counts[f]; }
+  std::uint64_t operator[](Field f) const noexcept { return counts[f]; }
+
+  void record_uniform(bool success) noexcept {
+    ++counts[kUniformTrials];
+    counts[kUniformSuccesses] += success ? 1 : 0;
   }
+  void record_far(bool success) noexcept {
+    ++counts[kFarTrials];
+    counts[kFarSuccesses] += success ? 1 : 0;
+  }
+
+  void merge(const ChunkTally& other) { kernels::add_u64(counts, other.counts); }
 };
 
 // Per-worker cache for trial-invariant sources: materialized on first use,
@@ -127,12 +141,12 @@ void run_trial_range(const SourceSpec& uniform_source,
 ProbeResult finalize_tally(const ChunkTally& total, std::uint64_t trials,
                            std::uint64_t budget, ProbeStop stop) {
   ProbeResult out = probe_result_from_tallies(
-      total.uniform_accepts.successes(), total.far_rejects.successes(), trials,
-      budget, stop);
-  out.uniform_aborts_quorum = total.uniform_aborts_quorum;
-  out.uniform_aborts_timeout = total.uniform_aborts_timeout;
-  out.far_aborts_quorum = total.far_aborts_quorum;
-  out.far_aborts_timeout = total.far_aborts_timeout;
+      total[ChunkTally::kUniformSuccesses], total[ChunkTally::kFarSuccesses],
+      trials, budget, stop);
+  out.uniform_aborts_quorum = total[ChunkTally::kUniformAbortsQuorum];
+  out.uniform_aborts_timeout = total[ChunkTally::kUniformAbortsTimeout];
+  out.far_aborts_quorum = total[ChunkTally::kFarAbortsQuorum];
+  out.far_aborts_timeout = total[ChunkTally::kFarAbortsTimeout];
   return out;
 }
 
@@ -211,8 +225,8 @@ ProbeResult adaptive_engine(const SourceSpec& uniform_source,
     done = next;
     if (done == max_trials) break;
 
-    const std::uint64_t us = total.uniform_accepts.successes();
-    const std::uint64_t fs = total.far_rejects.successes();
+    const std::uint64_t us = total[ChunkTally::kUniformSuccesses];
+    const std::uint64_t fs = total[ChunkTally::kFarSuccesses];
     const auto remaining = static_cast<std::uint64_t>(max_trials - done);
     // Worst-case FINAL rates if the remaining trials all fail / all succeed.
     const bool pass_sure =
@@ -241,10 +255,10 @@ ProbeResult adaptive_engine(const SourceSpec& uniform_source,
 struct BoolRuns {
   const TesterRun& tester;
   void uniform(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
-    tally.uniform_accepts.record(tester(source, rng));
+    tally.record_uniform(tester(source, rng));
   }
   void far(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
-    tally.far_rejects.record(!tester(source, rng));
+    tally.record_far(!tester(source, rng));
   }
 };
 
@@ -252,15 +266,21 @@ struct ExRuns {
   const TesterRunEx& tester;
   void uniform(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
     const RefereeOutcome o = tester(source, rng);
-    tally.uniform_accepts.record(o == RefereeOutcome::kAccept);
-    if (o == RefereeOutcome::kAbortQuorum) ++tally.uniform_aborts_quorum;
-    if (o == RefereeOutcome::kAbortTimeout) ++tally.uniform_aborts_timeout;
+    tally.record_uniform(o == RefereeOutcome::kAccept);
+    if (o == RefereeOutcome::kAbortQuorum) {
+      ++tally[ChunkTally::kUniformAbortsQuorum];
+    }
+    if (o == RefereeOutcome::kAbortTimeout) {
+      ++tally[ChunkTally::kUniformAbortsTimeout];
+    }
   }
   void far(const SampleSource& source, Rng& rng, ChunkTally& tally) const {
     const RefereeOutcome o = tester(source, rng);
-    tally.far_rejects.record(o == RefereeOutcome::kReject);
-    if (o == RefereeOutcome::kAbortQuorum) ++tally.far_aborts_quorum;
-    if (o == RefereeOutcome::kAbortTimeout) ++tally.far_aborts_timeout;
+    tally.record_far(o == RefereeOutcome::kReject);
+    if (o == RefereeOutcome::kAbortQuorum) ++tally[ChunkTally::kFarAbortsQuorum];
+    if (o == RefereeOutcome::kAbortTimeout) {
+      ++tally[ChunkTally::kFarAbortsTimeout];
+    }
   }
 };
 

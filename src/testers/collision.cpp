@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/kernels.hpp"
 #include "util/math.hpp"
 
 namespace duti {
@@ -33,16 +34,12 @@ std::uint64_t collision_pairs(std::span<const std::uint64_t> samples) {
 
 std::uint64_t collision_pairs_from_counts(
     std::span<const std::uint64_t> counts) {
-  std::uint64_t pairs = 0;
-  for (const std::uint64_t c : counts) pairs += c * (c - 1) / 2;
-  return pairs;
+  return kernels::collision_pairs_from_counts(counts);
 }
 
 std::uint64_t distinct_values_from_counts(
     std::span<const std::uint64_t> counts) {
-  std::uint64_t distinct = 0;
-  for (const std::uint64_t c : counts) distinct += c > 0 ? 1 : 0;
-  return distinct;
+  return kernels::distinct_from_counts(counts);
 }
 
 std::uint64_t distinct_values(std::span<const std::uint64_t> samples) {

@@ -1,0 +1,201 @@
+// AVX2 kernel variants, including the wide batched nu_z sampler. This TU (and
+// kernels_sse2.cpp) is the only place allowed to touch <immintrin.h> —
+// enforced by the duti-lint rule no-intrinsics-outside-kernels. Compiled
+// with -mavx2 and DUTI_KERNELS_BUILD_AVX2 by src/util/CMakeLists.txt on
+// x86 only; the dispatcher never reaches avx2:: unless cpuid agrees.
+#ifdef DUTI_KERNELS_BUILD_AVX2
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/kernels_isa.hpp"
+
+namespace duti::kernels::avx2 {
+
+namespace {
+
+struct V256 {
+  static constexpr std::size_t kWidth = 4;
+  static __m256d load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, __m256d v) { _mm256_storeu_pd(p, v); }
+  static __m256d add(__m256d a, __m256d b) { return _mm256_add_pd(a, b); }
+  static __m256d sub(__m256d a, __m256d b) { return _mm256_sub_pd(a, b); }
+
+  // Fused stages (1, 2) per group of four doubles, one register each:
+  // y = [x0+x1, x0-x1, x2+x3, x2-x3], out = [y0+y2, y1+y3, y0-y2, y1-y3]
+  // — the exact scalar op tree, no reassociation.
+  static void wht4_groups(double* d, std::size_t n) {
+    for (std::size_t i = 0; i < n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(d + i);
+      const __m256d a = _mm256_permute_pd(v, 0x0);  // [x0 x0 x2 x2]
+      const __m256d b = _mm256_permute_pd(v, 0xF);  // [x1 x1 x3 x3]
+      const __m256d s = _mm256_add_pd(a, b);
+      const __m256d t = _mm256_sub_pd(a, b);
+      const __m256d y = _mm256_blend_pd(s, t, 0xA);  // [s0 d0 s2 d2]
+      const __m256d lo = _mm256_permute2f128_pd(y, y, 0x00);  // [y0 y1 y0 y1]
+      const __m256d hi = _mm256_permute2f128_pd(y, y, 0x11);  // [y2 y3 y2 y3]
+      const __m256d zs = _mm256_add_pd(lo, hi);
+      const __m256d zd = _mm256_sub_pd(lo, hi);
+      _mm256_storeu_pd(d + i, _mm256_blend_pd(zs, zd, 0xC));
+    }
+  }
+};
+
+inline __m256i loadu(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void storeu(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+inline std::uint64_t hsum_u64(__m256i acc) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+inline __m256i set1_u64(std::uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// Low 64 bits of the lane-wise 64x64 product (wrapping, same mod-2^64
+/// value as the scalar u64 multiply).
+inline __m256i mullo_u64(__m256i a, __m256i b) {
+  const __m256i t0 = _mm256_mul_epu32(a, b);  // al*bl
+  const __m256i t1 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  const __m256i t2 = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  return _mm256_add_epi64(t0,
+                          _mm256_slli_epi64(_mm256_add_epi64(t1, t2), 32));
+}
+
+}  // namespace
+
+void wht(std::span<double> data) { detail::wht_blocked<V256>(data); }
+
+std::uint64_t collision_pairs_from_counts(
+    std::span<const std::uint64_t> counts) {
+  const std::uint64_t* p = counts.data();
+  const std::size_t n = counts.size();
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i one = set1_u64(1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c = loadu(p + i);
+    const __m256i lo = mullo_u64(c, _mm256_sub_epi64(c, one));
+    acc = _mm256_add_epi64(acc, _mm256_srli_epi64(lo, 1));  // c*(c-1) even
+  }
+  std::uint64_t pairs = hsum_u64(acc);
+  for (; i < n; ++i) pairs += p[i] * (p[i] - 1) / 2;
+  return pairs;
+}
+
+std::uint64_t distinct_from_counts(std::span<const std::uint64_t> counts) {
+  const std::uint64_t* p = counts.data();
+  const std::size_t n = counts.size();
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = set1_u64(1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i eq0 = _mm256_cmpeq_epi64(loadu(p + i), zero);
+    acc = _mm256_add_epi64(acc, _mm256_add_epi64(eq0, one));  // -1+1 or 0+1
+  }
+  std::uint64_t distinct = hsum_u64(acc);
+  for (; i < n; ++i) distinct += p[i] > 0 ? 1 : 0;
+  return distinct;
+}
+
+void add_u64(std::span<std::uint64_t> acc,
+             std::span<const std::uint64_t> addend) {
+  std::uint64_t* a = acc.data();
+  const std::uint64_t* b = addend.data();
+  const std::size_t n = acc.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    storeu(a + i, _mm256_add_epi64(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+void nuz_sample_many(Rng& rng, const std::uint64_t* zwords, unsigned ell,
+                     double eps, std::span<std::uint64_t> out) {
+  // Each nu_z sample consumes exactly two raw draws: x = r >> (64-ell)
+  // (next_below on the power-of-two side never rejects) and the Bernoulli
+  // uniform d = double(r >> 11) * 2^-53. Batch eight raws, de-interleave
+  // into x/d lanes in sample order, and select the sign bit vectorially;
+  // the RNG stream is consumed in exactly the scalar order.
+  constexpr std::size_t kW = 4;
+  const std::size_t n = out.size();
+  const std::uint64_t side = 1ULL << ell;
+  // Same FP expressions as NuZ::sample for z = +1 / -1 (the multiply by
+  // +-1.0 and the 1.0 +- eps addition are IEEE-exact either way).
+  const double p_pos = 0.5 * (1.0 + eps);
+  const double p_neg = 0.5 * (1.0 - eps);
+  const __m128i xshift = _mm_cvtsi32_si128(64 - static_cast<int>(ell));
+  const __m256i lo32 = set1_u64(0xFFFFFFFFULL);
+  const __m256i magic_lo = set1_u64(0x4330000000000000ULL);  // double 2^52
+  const __m256i magic_hi = set1_u64(0x4530000000000000ULL);  // double 2^84
+  const __m256d exp_lo = _mm256_set1_pd(0x1.0p52);
+  const __m256d exp_hi = _mm256_set1_pd(0x1.0p84);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+  const __m256d vp_pos = _mm256_set1_pd(p_pos);
+  const __m256d vp_neg = _mm256_set1_pd(p_neg);
+  const __m256i vside = set1_u64(side);
+  const __m256i v63 = set1_u64(63);
+  const __m256i vone = set1_u64(1);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    alignas(32) std::uint64_t raw[2 * kW];
+    for (std::size_t w = 0; w < 2 * kW; ++w) raw[w] = rng();
+    const __m256i v0 = _mm256_load_si256(reinterpret_cast<__m256i*>(raw));
+    const __m256i v1 =
+        _mm256_load_si256(reinterpret_cast<__m256i*>(raw + kW));
+    // De-interleave to sample order: xs = [r0 r2 r4 r6], ds = [r1 r3 r5 r7].
+    const __m256i xs_raw = _mm256_permute4x64_epi64(
+        _mm256_unpacklo_epi64(v0, v1), _MM_SHUFFLE(3, 1, 2, 0));
+    const __m256i ds_raw = _mm256_permute4x64_epi64(
+        _mm256_unpackhi_epi64(v0, v1), _MM_SHUFFLE(3, 1, 2, 0));
+    const __m256i xs = _mm256_srl_epi64(xs_raw, xshift);
+    // Exact u64 -> double for values < 2^53 via the two-part magic trick;
+    // both halves and their sum are exactly representable.
+    const __m256i d53 = _mm256_srli_epi64(ds_raw, 11);
+    const __m256d dlo = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_and_si256(d53, lo32),
+                                            magic_lo)),
+        exp_lo);
+    const __m256d dhi = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_srli_epi64(d53, 32),
+                                            magic_hi)),
+        exp_hi);
+    const __m256d d = _mm256_mul_pd(_mm256_add_pd(dhi, dlo), scale);
+    // z(x): gather the sign words and test bit (x & 63).
+    const __m256i words = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(zwords),
+        _mm256_srli_epi64(xs, 6), 8);
+    const __m256i bit = _mm256_and_si256(
+        _mm256_srlv_epi64(words, _mm256_and_si256(xs, v63)), vone);
+    const __m256i is_neg = _mm256_cmpeq_epi64(bit, vone);
+    const __m256d p_plus =
+        _mm256_blendv_pd(vp_pos, vp_neg, _mm256_castsi256_pd(is_neg));
+    // s = -1 iff !(d < p_plus); encode as the high cube bit.
+    const __m256d ge = _mm256_cmp_pd(d, p_plus, _CMP_NLT_UQ);
+    const __m256i sbit =
+        _mm256_and_si256(_mm256_castpd_si256(ge), vside);
+    storeu(out.data() + i, _mm256_or_si256(xs, sbit));
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t x = rng.next_below(side);
+    const bool neg = ((zwords[x >> 6] >> (x & 63U)) & 1ULL) != 0;
+    const double p_plus = neg ? p_neg : p_pos;
+    const bool s_plus = rng.next_double() < p_plus;
+    out[i] = x | (static_cast<std::uint64_t>(!s_plus) << ell);
+  }
+}
+
+}  // namespace duti::kernels::avx2
+
+#endif  // DUTI_KERNELS_BUILD_AVX2

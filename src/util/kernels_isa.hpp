@@ -1,0 +1,141 @@
+// Internal contract between the kernel dispatcher (kernels.cpp) and the
+// per-ISA translation units (kernels_sse2.cpp, kernels_avx2.cpp). Each ISA
+// TU is compiled with its own -m flags (confined there by CMake source
+// properties); this header stays baseline-portable — the templates below
+// only touch intrinsics through the ops struct `V` each TU supplies, so
+// they compile (uninstantiated) everywhere, including the header
+// self-sufficiency check.
+//
+// Bit-identity argument for the WHT drivers (DESIGN.md section 11): the
+// scalar transform applies stages len = 1, 2, 4, ..., n/2 in order, and a
+// stage only combines elements at distance len. Radix-4 fusion computes the
+// two fused stages' intermediate sums/differences explicitly and in the
+// scalar order, so every output's floating-point expression tree is
+// unchanged; cache blocking reorders work only across disjoint index
+// ranges. No FP operation is reassociated anywhere, so SIMD lanes produce
+// the exact scalar bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace duti::kernels {
+
+/// WHT cache block, in doubles (32 KiB: stages with span < kWhtBlock run
+/// block-resident before the streaming outer stages touch the array).
+inline constexpr std::size_t kWhtBlock = std::size_t{1} << 12;
+
+namespace detail {
+
+/// One radix-2 stage at distance `len` (len >= V::kWidth, elementwise).
+template <class V>
+inline void wht_radix2_stage(double* d, std::size_t n, std::size_t len) {
+  for (std::size_t base = 0; base < n; base += len << 1) {
+    for (std::size_t i = 0; i < len; i += V::kWidth) {
+      const auto a = V::load(d + base + i);
+      const auto b = V::load(d + base + len + i);
+      V::store(d + base + i, V::add(a, b));
+      V::store(d + base + len + i, V::sub(a, b));
+    }
+  }
+}
+
+/// Stages (len, 2*len) fused: groups of four len-blocks, elementwise.
+template <class V>
+inline void wht_radix4_stages(double* d, std::size_t n, std::size_t len) {
+  for (std::size_t base = 0; base < n; base += len << 2) {
+    for (std::size_t i = 0; i < len; i += V::kWidth) {
+      const auto a = V::load(d + base + i);
+      const auto b = V::load(d + base + len + i);
+      const auto c = V::load(d + base + 2 * len + i);
+      const auto e = V::load(d + base + 3 * len + i);
+      const auto s1 = V::add(a, b);   // stage len, upper halves
+      const auto d1 = V::sub(a, b);
+      const auto s2 = V::add(c, e);
+      const auto d2 = V::sub(c, e);
+      V::store(d + base + i, V::add(s1, s2));  // stage 2*len
+      V::store(d + base + len + i, V::add(d1, d2));
+      V::store(d + base + 2 * len + i, V::sub(s1, s2));
+      V::store(d + base + 3 * len + i, V::sub(d1, d2));
+    }
+  }
+}
+
+/// All stages with span < size, run block-resident. size >= 4, power of 2.
+/// V::wht4_groups handles the fused (1, 2) stage pair in-register.
+template <class V>
+inline void wht_in_block(double* d, std::size_t size) {
+  V::wht4_groups(d, size);
+  std::size_t len = 4;
+  while (len < size) {
+    if (len * 2 < size) {
+      wht_radix4_stages<V>(d, size, len);
+      len *= 4;
+    } else {
+      wht_radix2_stage<V>(d, size, len);
+      len *= 2;
+    }
+  }
+}
+
+/// Full transform: per-block inner stages, then streaming outer stages.
+template <class V>
+inline void wht_blocked(std::span<double> data) {
+  const std::size_t n = data.size();
+  double* d = data.data();
+  if (n < 4) {
+    if (n == 2) {
+      const double a = d[0];
+      const double b = d[1];
+      d[0] = a + b;
+      d[1] = a - b;
+    }
+    return;
+  }
+  const std::size_t block = n < kWhtBlock ? n : kWhtBlock;
+  for (std::size_t b0 = 0; b0 < n; b0 += block) {
+    wht_in_block<V>(d + b0, block);
+  }
+  std::size_t len = block;
+  while (len < n) {
+    if (len * 2 < n) {
+      wht_radix4_stages<V>(d, n, len);
+      len *= 4;
+    } else {
+      wht_radix2_stage<V>(d, n, len);
+      len *= 2;
+    }
+  }
+}
+
+}  // namespace detail
+
+// Per-ISA entry points, defined in kernels_sse2.cpp / kernels_avx2.cpp.
+// kernels.cpp only calls into a namespace whose TU was compiled in
+// (DUTI_KERNELS_HAVE_* definitions set by src/util/CMakeLists.txt).
+namespace sse2 {
+void wht(std::span<double> data);
+[[nodiscard]] std::uint64_t collision_pairs_from_counts(
+    std::span<const std::uint64_t> counts);
+[[nodiscard]] std::uint64_t distinct_from_counts(
+    std::span<const std::uint64_t> counts);
+void add_u64(std::span<std::uint64_t> acc,
+             std::span<const std::uint64_t> addend);
+}  // namespace sse2
+
+namespace avx2 {
+void wht(std::span<double> data);
+[[nodiscard]] std::uint64_t collision_pairs_from_counts(
+    std::span<const std::uint64_t> counts);
+[[nodiscard]] std::uint64_t distinct_from_counts(
+    std::span<const std::uint64_t> counts);
+void add_u64(std::span<std::uint64_t> acc,
+             std::span<const std::uint64_t> addend);
+void nuz_sample_many(Rng& rng, const std::uint64_t* zwords, unsigned ell,
+                     double eps, std::span<std::uint64_t> out);
+}  // namespace avx2
+
+}  // namespace duti::kernels

@@ -1,0 +1,128 @@
+// SSE2 kernel variants. This TU is the only place (besides kernels_avx2.cpp)
+// allowed to touch <emmintrin.h>/__m128 types — see the duti-lint rule
+// no-intrinsics-outside-kernels. Compiled with -msse2 and
+// DUTI_KERNELS_BUILD_SSE2 by src/util/CMakeLists.txt on x86 only; on other
+// targets this file is empty and the dispatcher never reaches sse2::.
+#ifdef DUTI_KERNELS_BUILD_SSE2
+
+#include <emmintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/kernels_isa.hpp"
+
+namespace duti::kernels::sse2 {
+
+namespace {
+
+struct V128 {
+  static constexpr std::size_t kWidth = 2;
+  static __m128d load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, __m128d v) { _mm_storeu_pd(p, v); }
+  static __m128d add(__m128d a, __m128d b) { return _mm_add_pd(a, b); }
+  static __m128d sub(__m128d a, __m128d b) { return _mm_sub_pd(a, b); }
+
+  // Fused stages (1, 2) over every aligned group of four doubles
+  // [x0 x1 x2 x3]: stage 1 forms y = [x0+x1, x0-x1, x2+x3, x2-x3], stage 2
+  // combines the halves elementwise — exactly the scalar op tree.
+  static void wht4_groups(double* d, std::size_t n) {
+    for (std::size_t i = 0; i < n; i += 4) {
+      const __m128d v01 = _mm_loadu_pd(d + i);
+      const __m128d v23 = _mm_loadu_pd(d + i + 2);
+      const __m128d a01 = _mm_shuffle_pd(v01, v01, 0);  // [x0 x0]
+      const __m128d b01 = _mm_shuffle_pd(v01, v01, 3);  // [x1 x1]
+      const __m128d a23 = _mm_shuffle_pd(v23, v23, 0);  // [x2 x2]
+      const __m128d b23 = _mm_shuffle_pd(v23, v23, 3);  // [x3 x3]
+      const __m128d s01 = _mm_add_pd(a01, b01);
+      const __m128d d01 = _mm_sub_pd(a01, b01);
+      const __m128d s23 = _mm_add_pd(a23, b23);
+      const __m128d d23 = _mm_sub_pd(a23, b23);
+      // y01 = [x0+x1, x0-x1], y23 = [x2+x3, x2-x3].
+      const __m128d y01 = _mm_shuffle_pd(s01, d01, 2);
+      const __m128d y23 = _mm_shuffle_pd(s23, d23, 2);
+      _mm_storeu_pd(d + i, _mm_add_pd(y01, y23));
+      _mm_storeu_pd(d + i + 2, _mm_sub_pd(y01, y23));
+    }
+  }
+};
+
+inline __m128i loadu(const std::uint64_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void storeu(std::uint64_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+inline std::uint64_t hsum_u64(__m128i acc) {
+  alignas(16) std::uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  return lanes[0] + lanes[1];
+}
+
+}  // namespace
+
+void wht(std::span<double> data) { detail::wht_blocked<V128>(data); }
+
+std::uint64_t collision_pairs_from_counts(
+    std::span<const std::uint64_t> counts) {
+  const std::uint64_t* p = counts.data();
+  const std::size_t n = counts.size();
+  __m128i acc = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i c = loadu(p + i);
+    const __m128i b = _mm_sub_epi64(c, one);
+    // Low 64 bits of c*(c-1): al*bl + ((ah*bl + al*bh) << 32), wrapping —
+    // the same mod-2^64 value the scalar u64 multiply produces.
+    const __m128i t0 = _mm_mul_epu32(c, b);
+    const __m128i t1 = _mm_mul_epu32(_mm_srli_epi64(c, 32), b);
+    const __m128i t2 = _mm_mul_epu32(c, _mm_srli_epi64(b, 32));
+    const __m128i lo =
+        _mm_add_epi64(t0, _mm_slli_epi64(_mm_add_epi64(t1, t2), 32));
+    acc = _mm_add_epi64(acc, _mm_srli_epi64(lo, 1));  // c*(c-1) is even
+  }
+  std::uint64_t pairs = hsum_u64(acc);
+  for (; i < n; ++i) pairs += p[i] * (p[i] - 1) / 2;
+  return pairs;
+}
+
+std::uint64_t distinct_from_counts(std::span<const std::uint64_t> counts) {
+  const std::uint64_t* p = counts.data();
+  const std::size_t n = counts.size();
+  __m128i acc = _mm_setzero_si128();
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i c = loadu(p + i);
+    // A 64-bit lane is zero iff both 32-bit halves compare equal to zero
+    // (SSE2 has no 64-bit compare): all-ones for c==0, else not-all-ones.
+    const __m128i eq32 = _mm_cmpeq_epi32(c, zero);
+    const __m128i both =
+        _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    acc = _mm_add_epi64(acc, _mm_add_epi64(both, one));  // -1+1=0 or 0+1=1
+  }
+  std::uint64_t distinct = hsum_u64(acc);
+  for (; i < n; ++i) distinct += p[i] > 0 ? 1 : 0;
+  return distinct;
+}
+
+void add_u64(std::span<std::uint64_t> acc,
+             std::span<const std::uint64_t> addend) {
+  std::uint64_t* a = acc.data();
+  const std::uint64_t* b = addend.data();
+  const std::size_t n = acc.size();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    storeu(a + i, _mm_add_epi64(loadu(a + i), loadu(b + i)));
+  }
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+}  // namespace duti::kernels::sse2
+
+#endif  // DUTI_KERNELS_BUILD_SSE2

@@ -233,6 +233,37 @@ bool aborted = was_aborted(run);
             0u);
 }
 
+TEST(NoIntrinsicsOutsideKernels, FlagsIntrinsicsInGeneralSources) {
+  const auto r = lint("src/fourier/wht.cpp",
+                      R"(#include <immintrin.h>
+__m256d v = _mm256_loadu_pd(p);
+__m128i w = _mm_add_epi64(a, b);
+)");
+  EXPECT_EQ(count_rule(r, "no-intrinsics-outside-kernels"), 3u);
+  EXPECT_EQ(r.findings[0].line, 1);
+}
+
+TEST(NoIntrinsicsOutsideKernels, KernelLayerIsExempt) {
+  const auto kern = lint("src/util/kernels_avx2.cpp",
+                         R"(#include <immintrin.h>
+__m256i v = _mm256_add_epi64(a, b);
+)");
+  EXPECT_EQ(count_rule(kern, "no-intrinsics-outside-kernels"), 0u);
+  const auto simd = lint("src/util/simd.hpp", R"(#pragma once
+enum class SimdLevel : int { kScalar = 0 };
+)");
+  EXPECT_EQ(count_rule(simd, "no-intrinsics-outside-kernels"), 0u);
+}
+
+TEST(NoIntrinsicsOutsideKernels, LookalikeIdentifiersAreClean) {
+  // "_mm_"/"__m256" embedded inside a longer identifier is not an
+  // intrinsic use; only a non-identifier left boundary counts.
+  const auto r = lint("src/a.cpp", R"(int comm_mm_size = 0;
+double gemm_m128_tile = 1.0;
+)");
+  EXPECT_EQ(count_rule(r, "no-intrinsics-outside-kernels"), 0u);
+}
+
 TEST(Lexer, CommentsAndStringsAreInvisible) {
   const auto r = lint("src/a.cpp",
                       "// std::random_device in a comment\n"

@@ -4,6 +4,8 @@
 
 #include <bit>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <tuple>
 #include <vector>
 
@@ -68,6 +70,73 @@ TEST(CountEvenSequences, MatchesBruteForce) {
       }
       EXPECT_DOUBLE_EQ(count_even_sequences(alphabet, m), brute)
           << "alphabet=" << alphabet << " m=" << m;
+    }
+  }
+}
+
+TEST(CountEvenSequences, PinsExactValuesThrough128Bits) {
+  // Length 6 closed form: a(1 + 15(a-1)^2) = 15a^3 - 30a^2 + 16a.
+  for (std::uint64_t alphabet : {1ULL, 2ULL, 3ULL, 8ULL, 100ULL}) {
+    const auto a = static_cast<double>(alphabet);
+    EXPECT_DOUBLE_EQ(count_even_sequences(alphabet, 6),
+                     15.0 * a * a * a - 30.0 * a * a + 16.0 * a);
+  }
+  EXPECT_DOUBLE_EQ(count_even_sequences(2, 6), 32.0);
+  EXPECT_DOUBLE_EQ(count_even_sequences(3, 6), 183.0);
+  // Alphabet 2: exactly 2^{m-1} sequences (each letter even). Powers of two
+  // are exactly representable, so the 128-bit DP must pin them exactly —
+  // including 2^125, far past the old double-accumulation regime.
+  for (unsigned m : {2u, 10u, 40u, 64u, 126u}) {
+    EXPECT_EQ(count_even_sequences(2, m), std::ldexp(1.0, int(m) - 1)) << m;
+  }
+}
+
+TEST(CountEvenSequences, LogSpaceFallbackPastExactRange) {
+  // 2^129 overflows the 128-bit accumulators: the DP must hand off to the
+  // log-space path and still land within floating-point noise of 2^129.
+  const double near = count_even_sequences(2, 130);
+  EXPECT_NEAR(near / std::ldexp(1.0, 129), 1.0, 1e-9);
+  // The log-space entry point agrees with the exact DP where both work...
+  for (std::uint64_t alphabet : {2ULL, 5ULL, 64ULL}) {
+    for (unsigned m : {2u, 4u, 8u, 20u}) {
+      EXPECT_NEAR(std::exp(count_even_sequences_log(alphabet, m)),
+                  count_even_sequences(alphabet, m),
+                  1e-9 * count_even_sequences(alphabet, m))
+          << "alphabet=" << alphabet << " m=" << m;
+    }
+  }
+  // ...reports -inf for odd lengths (count zero)...
+  EXPECT_EQ(count_even_sequences_log(8, 3),
+            -std::numeric_limits<double>::infinity());
+  // ...and handles alphabets no fixed-width integer could: for a = 2^40,
+  // m = 8 the count is 105 a^4 (1 - O(1/a)), so the log sits within ~4/a
+  // of log(105) + 160 log 2.
+  EXPECT_NEAR(count_even_sequences_log(1ULL << 40, 8),
+              std::log(105.0) + 160.0 * std::log(2.0), 1e-9);
+}
+
+TEST(EvenlyCovered, InsertionSortPathMatchesParityReference) {
+  // The predicate sorts with insertion sort below 17 elements and std::sort
+  // above; both paths must agree with an order-free parity-map reference at
+  // every |S| straddling the cutoff.
+  Rng rng(97);
+  for (unsigned q : {8u, 16u, 17u, 24u, 40u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<std::uint64_t> x(q);
+      for (auto& xi : x) xi = rng() % 5;  // few values -> collisions likely
+      const std::uint64_t mask =
+          rng() & ((q >= 64 ? ~0ULL : (1ULL << q) - 1));
+      std::map<std::uint64_t, std::uint64_t> parity;
+      for (unsigned j = 0; j < q; ++j) {
+        if ((mask >> j) & 1ULL) ++parity[x[j]];
+      }
+      bool expected = true;
+      for (const auto& [value, times] : parity) {
+        (void)value;
+        if (times % 2 != 0) expected = false;
+      }
+      EXPECT_EQ(is_evenly_covered(x, mask), expected)
+          << "q=" << q << " mask=" << mask;
     }
   }
 }

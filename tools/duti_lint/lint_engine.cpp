@@ -271,6 +271,13 @@ std::vector<Rule> build_rules() {
        "embedding process (and every in-flight cache write); throw a duti "
        "error and let the binary's edge decide",
        {"src/"}, {"src/util/error.hpp"}, false},
+      {"no-intrinsics-outside-kernels",
+       "raw SIMD intrinsics are confined to the kernel layer "
+       "(src/util/simd.hpp and src/util/kernels*); everything else calls "
+       "the runtime-dispatched duti::kernels API so DUTI_SIMD=off stays "
+       "bit-identical to the vector paths",
+       {"src/", "tests/", "bench/"},
+       {"src/util/simd.hpp", "src/util/kernels"}, false},
       // Meta rules, emitted by the suppression parser itself.
       {"bare-suppression",
        "duti-lint suppressions must carry '-- <justification>' text",
@@ -588,6 +595,39 @@ void check_exit_in_library(const std::string& file,
   }
 }
 
+void check_intrinsics(const std::string& file, const std::vector<Line>& lines,
+                      RawFindings& out) {
+  // x86 intrinsic headers, vector register types, and _mm*_ call prefixes.
+  // Prefix matching (left boundary only) covers the suffixed families
+  // (__m256d, _mm256_add_epi64, ...) without enumerating every intrinsic.
+  static const char* const kHeaders[] = {"immintrin", "emmintrin",
+                                         "xmmintrin", "pmmintrin",
+                                         "smmintrin", "tmmintrin",
+                                         "nmmintrin", "wmmintrin",
+                                         "ammintrin", "zmmintrin"};
+  static const char* const kPrefixes[] = {"__m128", "__m256", "__m512",
+                                          "_mm_", "_mm256_", "_mm512_"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    bool hit = false;
+    for (const char* word : kHeaders)
+      if (has_word(code, word)) hit = true;
+    for (const char* prefix : kPrefixes) {
+      const std::string p(prefix);
+      std::size_t at = 0;
+      while (!hit && (at = code.find(p, at)) != std::string::npos) {
+        if (at == 0 || !is_ident(code[at - 1])) hit = true;
+        at += p.size();
+      }
+    }
+    if (hit)
+      add(out, file, static_cast<int>(i + 1), "no-intrinsics-outside-kernels",
+          "raw SIMD intrinsics outside the kernel layer; call the "
+          "runtime-dispatched duti::kernels API so every call site keeps "
+          "the scalar/SIMD bit-identity contract");
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& default_rules() {
@@ -631,6 +671,8 @@ void lint_source(const std::string& rel_path, const std::string& content,
     check_side_effect_assert(rel_path, lines, raw);
   if (enabled("no-exit-in-library"))
     check_exit_in_library(rel_path, lines, raw);
+  if (enabled("no-intrinsics-outside-kernels"))
+    check_intrinsics(rel_path, lines, raw);
 
   // Collect suppressions; malformed ones are themselves findings.
   std::set<std::string> file_allowed;                 // rule -> whole file
