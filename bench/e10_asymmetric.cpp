@@ -1,5 +1,10 @@
 // E10 — the asymmetric-cost model of Section 6.2.
 //
+// duti-lint: allow-file(no-serial-sweep-loop) -- the sweep axis is a set
+// of categorical rate-vector SHAPES, not a numeric coordinate: there is
+// nothing to interpolate warm-start hints along, which is the engine's
+// whole point here.
+//
 // Paper claim: if player i samples at rate T_i for tau time units
 // (q_i = T_i * tau), the optimal time is tau = Theta(sqrt(n)/(eps^2 ||T||_2))
 // — only the l2 norm of the rate vector matters, not its shape.

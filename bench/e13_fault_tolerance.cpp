@@ -1,5 +1,11 @@
 // E13 (extension beyond the paper): what fault tolerance costs.
 //
+// duti-lint: allow-file(no-serial-sweep-loop) -- these probes are
+// fault-aware (probe_success_ex over RefereeOutcome, abort attribution);
+// the sweep engine's declarative path only speaks the boolean two-sided
+// probe, so the searches here stay direct until the engine grows an _ex
+// lane.
+//
 // Three sweeps, all against the distributed threshold tester of [7] at
 // fixed (n, k, eps):
 //

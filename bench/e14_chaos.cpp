@@ -55,60 +55,46 @@ int replay_mode(const std::string& token, const ChaosHooks& hooks) {
   return 1;
 }
 
-void json_escape_into(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-}
-
-void write_json(const std::string& path, const CampaignConfig& cfg,
-                const CampaignSummary& summary) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::cout << "warning: cannot write " << path << "\n";
-    return;
-  }
-  std::fprintf(f,
-               "{\n  \"experiment\": \"e14_chaos\",\n"
-               "  \"seed0\": %llu,\n  \"num_seeds\": %u,\n"
-               "  \"retry_deficit\": %u,\n  \"total_components\": %llu,\n"
-               "  \"outcomes\": {\"accept\": %llu, \"reject\": %llu, "
-               "\"abort_quorum\": %llu, \"abort_timeout\": %llu},\n"
-               "  \"campaign_fingerprint\": \"%016llx\",\n"
-               "  \"violations\": %zu,\n  \"failures\": [",
-               static_cast<unsigned long long>(summary.seed0),
-               summary.num_seeds, cfg.hooks.retry_deficit,
-               static_cast<unsigned long long>(summary.total_components),
-               static_cast<unsigned long long>(summary.outcome_counts[0]),
-               static_cast<unsigned long long>(summary.outcome_counts[1]),
-               static_cast<unsigned long long>(summary.outcome_counts[2]),
-               static_cast<unsigned long long>(summary.outcome_counts[3]),
-               static_cast<unsigned long long>(summary.fingerprint),
-               summary.failures.size());
+void write_json(const CampaignConfig& cfg, const CampaignSummary& summary) {
+  std::string failures = "[";
   for (std::size_t i = 0; i < summary.failures.size(); ++i) {
     const CampaignFailure& fail = summary.failures[i];
-    std::string token, shrunk, oracles;
-    json_escape_into(token, fail.token);
-    json_escape_into(shrunk, fail.shrunk_token);
+    std::string oracles;
     for (std::size_t v = 0; v < fail.violations.size(); ++v) {
       if (v > 0) oracles += ", ";
-      oracles += '"';
-      json_escape_into(oracles, fail.violations[v].oracle);
-      oracles += '"';
+      oracles += bench::json_str(fail.violations[v].oracle);
     }
-    std::fprintf(f,
-                 "%s\n    {\"seed\": %llu, \"components\": %zu, "
-                 "\"shrunk_components\": %zu,\n     \"token\": \"%s\",\n"
-                 "     \"shrunk_token\": \"%s\",\n     \"oracles\": [%s]}",
-                 i == 0 ? "" : ",",
-                 static_cast<unsigned long long>(fail.seed), fail.components,
-                 fail.shrunk_components, token.c_str(), shrunk.c_str(),
-                 oracles.c_str());
+    failures += i == 0 ? "\n" : ",\n";
+    failures += "    {\"seed\": " + bench::json_u64(fail.seed) +
+                ", \"components\": " + bench::json_u64(fail.components) +
+                ", \"shrunk_components\": " +
+                bench::json_u64(fail.shrunk_components) +
+                ",\n     \"token\": " + bench::json_str(fail.token) +
+                ",\n     \"shrunk_token\": " +
+                bench::json_str(fail.shrunk_token) +
+                ",\n     \"oracles\": [" + oracles + "]}";
   }
-  std::fprintf(f, "%s]\n}\n", summary.failures.empty() ? "" : "\n  ");
-  std::fclose(f);
-  std::cout << "JSON summary written to " << path << "\n";
+  failures += summary.failures.empty() ? "]" : "\n  ]";
+  char fp[24];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(summary.fingerprint));
+  const std::string path = bench::emit_bench_json(
+      "chaos",
+      {{"seed0", bench::json_u64(summary.seed0)},
+       {"num_seeds", bench::json_u64(summary.num_seeds)},
+       {"retry_deficit", bench::json_u64(cfg.hooks.retry_deficit)},
+       {"total_components", bench::json_u64(summary.total_components)},
+       {"outcomes",
+        "{\"accept\": " + bench::json_u64(summary.outcome_counts[0]) +
+            ", \"reject\": " + bench::json_u64(summary.outcome_counts[1]) +
+            ", \"abort_quorum\": " +
+            bench::json_u64(summary.outcome_counts[2]) +
+            ", \"abort_timeout\": " +
+            bench::json_u64(summary.outcome_counts[3]) + "}"},
+       {"campaign_fingerprint", bench::json_str(fp)},
+       {"violations", bench::json_u64(summary.failures.size())},
+       {"failures", failures}});
+  if (!path.empty()) std::cout << "JSON summary written to " << path << "\n";
 }
 
 }  // namespace
@@ -168,7 +154,7 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
-  write_json(bench::output_dir() + "/BENCH_chaos.json", cfg, summary);
+  write_json(cfg, summary);
 
   if (!summary.clean()) {
     std::cout << "\nCHAOS: " << summary.failures.size() << " of "

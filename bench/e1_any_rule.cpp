@@ -15,36 +15,7 @@
 #include "bench_common.hpp"
 #include "core/divergence.hpp"
 #include "core/predictions.hpp"
-#include "stats/workloads.hpp"
-#include "testers/distributed.hpp"
-
-namespace {
-
-using namespace duti;
-
-std::uint64_t measure_q_star(std::uint64_t n, unsigned k, double eps,
-                             std::size_t trials, std::uint64_t seed) {
-  const ProbeFn probe = [=](std::uint64_t q) {
-    Rng calib_rng = make_rng(seed, q, 0xCA11B);
-    const DistributedThresholdTester tester(
-        {n, k, static_cast<unsigned>(q), eps}, calib_rng);
-    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
-      return tester.run(src, rng);
-    };
-    return probe_success(run, workloads::uniform_factory(n),
-                         workloads::paninski_far_factory(n, eps), trials,
-                         derive_seed(seed, q));
-  };
-  MinSearchConfig cfg;
-  cfg.lo = 2;
-  cfg.hi = 1ULL << 16;
-  cfg.trials = trials;
-  cfg.seed = seed;
-  const auto result = find_min_param(probe, cfg);
-  return result.found ? result.minimum : 0;
-}
-
-}  // namespace
+#include "sweep_specs.hpp"
 
 int main(int argc, char** argv) {
   using namespace duti;
@@ -64,14 +35,23 @@ int main(int argc, char** argv) {
                 "expected: q* ~ sqrt(n/k)/eps^2 (slope -1/2 in k); the "
                 "Thm 6.1 lower bound sits below every measured point");
 
+  // The whole sweep runs through the engine: one declarative point per k
+  // (seed derivations identical to the old serial loop), anchor-first warm
+  // scheduling, shared probe-cache session. --sweep=cold reruns the serial
+  // full-budget baseline; minima are bit-identical either way.
+  const auto points =
+      bench::e1_points(n, eps, ks, static_cast<std::size_t>(flags.trials),
+                       static_cast<std::uint64_t>(flags.seed));
+  const SweepResult sweep = run_sweep(points, bench::sweep_engine_config(cli));
+  bench::print_sweep_summary("e1", sweep);
+
   Table table({"k", "q* (measured)", "predicted sqrt(n/k)/eps^2",
                "thm6.1 lower bound", "total k*q*"});
   std::vector<double> xs, measured, predicted;
-  for (const auto k : ks) {
-    const auto q_star = measure_q_star(
-        n, static_cast<unsigned>(k), eps,
-        static_cast<std::size_t>(flags.trials),
-        derive_seed(static_cast<std::uint64_t>(flags.seed), k));
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const auto k = ks[i];
+    const std::uint64_t q_star =
+        sweep.points[i].found ? sweep.points[i].minimum : 0;
     if (q_star == 0) {
       std::cout << "k=" << k << ": search failed (cap too low?)\n";
       continue;

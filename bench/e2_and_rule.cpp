@@ -13,35 +13,7 @@
 
 #include "bench_common.hpp"
 #include "core/predictions.hpp"
-#include "stats/workloads.hpp"
-#include "testers/distributed.hpp"
-
-namespace {
-
-using namespace duti;
-
-template <typename MakeTester>
-std::uint64_t measure_q_star(std::uint64_t n, double eps, std::size_t trials,
-                             std::uint64_t seed, const MakeTester& make) {
-  const ProbeFn probe = [&, n, eps, trials, seed](std::uint64_t q) {
-    const auto tester = make(static_cast<unsigned>(q), derive_seed(seed, q));
-    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
-      return tester->run(src, rng);
-    };
-    return probe_success(run, workloads::uniform_factory(n),
-                         workloads::paninski_far_factory(n, eps), trials,
-                         derive_seed(seed, q, 1));
-  };
-  MinSearchConfig cfg;
-  cfg.lo = 2;
-  cfg.hi = 1ULL << 16;
-  cfg.trials = trials;
-  cfg.seed = seed;
-  const auto result = find_min_param(probe, cfg);
-  return result.found ? result.minimum : 0;
-}
-
-}  // namespace
+#include "sweep_specs.hpp"
 
 int main(int argc, char** argv) {
   using namespace duti;
@@ -61,26 +33,29 @@ int main(int argc, char** argv) {
                 "expected: AND-rule q* nearly flat in k (polylog gain only); "
                 "threshold-rule q* falls like k^{-1/2}");
 
+  // Two engine sweeps over the same k axis — one per decision rule — with
+  // the old serial loop's exact seed derivations; both share the cache
+  // session and warm-start independently (their minima live on different
+  // curves, so cross-rule hints would mislead).
+  const auto trials = static_cast<std::size_t>(flags.trials);
+  const auto seed = static_cast<std::uint64_t>(flags.seed);
+  const SweepEngineConfig engine = bench::sweep_engine_config(cli);
+  const SweepResult and_sweep =
+      run_sweep(bench::e2_and_points(n, eps, ks, trials, seed), engine);
+  const SweepResult thr_sweep =
+      run_sweep(bench::e2_threshold_points(n, eps, ks, trials, seed), engine);
+  bench::print_sweep_summary("e2_and", and_sweep);
+  bench::print_sweep_summary("e2_thr", thr_sweep);
+
   Table table({"k", "q* AND rule", "q* threshold rule", "AND/threshold",
                "thm1.2 lower-bound shape", "fmo AND-tester shape"});
   std::vector<double> xs, and_measured, thr_measured;
-  for (const auto k : ks) {
-    const auto seed_k = derive_seed(static_cast<std::uint64_t>(flags.seed), k);
-    const auto q_and = measure_q_star(
-        n, eps, static_cast<std::size_t>(flags.trials), seed_k,
-        [&](unsigned q, std::uint64_t /*s*/) {
-          return std::make_unique<DistributedAndTester>(DistributedTesterConfig{
-              n, static_cast<unsigned>(k), q, eps});
-        });
-    const auto q_thr = measure_q_star(
-        n, eps, static_cast<std::size_t>(flags.trials),
-        derive_seed(seed_k, 7),
-        [&](unsigned q, std::uint64_t s) {
-          Rng calib_rng(s);
-          return std::make_unique<DistributedThresholdTester>(
-              DistributedTesterConfig{n, static_cast<unsigned>(k), q, eps},
-              calib_rng);
-        });
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const auto k = ks[i];
+    const std::uint64_t q_and =
+        and_sweep.points[i].found ? and_sweep.points[i].minimum : 0;
+    const std::uint64_t q_thr =
+        thr_sweep.points[i].found ? thr_sweep.points[i].minimum : 0;
     if (q_and == 0 || q_thr == 0) {
       std::cout << "k=" << k << ": search failed\n";
       continue;

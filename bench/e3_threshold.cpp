@@ -10,36 +10,7 @@
 
 #include "bench_common.hpp"
 #include "core/predictions.hpp"
-#include "stats/workloads.hpp"
-#include "testers/fixed_threshold.hpp"
-
-namespace {
-
-using namespace duti;
-
-std::uint64_t measure_q_star(std::uint64_t n, unsigned k, double eps,
-                             std::uint64_t t_forced, std::size_t trials,
-                             std::uint64_t seed) {
-  const ProbeFn probe = [=](std::uint64_t q) {
-    const FixedThresholdTester tester(
-        {n, k, static_cast<unsigned>(q), eps, t_forced});
-    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
-      return tester.run(src, rng);
-    };
-    return probe_success(run, workloads::uniform_factory(n),
-                         workloads::paninski_far_factory(n, eps), trials,
-                         derive_seed(seed, q));
-  };
-  MinSearchConfig cfg;
-  cfg.lo = 2;
-  cfg.hi = 1ULL << 16;
-  cfg.trials = trials;
-  cfg.seed = seed;
-  const auto result = find_min_param(probe, cfg);
-  return result.found ? result.minimum : 0;
-}
-
-}  // namespace
+#include "sweep_specs.hpp"
 
 int main(int argc, char** argv) {
   using namespace duti;
@@ -61,14 +32,19 @@ int main(int argc, char** argv) {
       "expected: q* ~ sqrt(n)/(T log^2(k/eps) eps^2) in the small-T window "
       "(q* x T roughly constant), flattening once T is large");
 
+  const auto points =
+      bench::e3_points(n, k, eps, ts, static_cast<std::size_t>(flags.trials),
+                       static_cast<std::uint64_t>(flags.seed));
+  const SweepResult sweep = run_sweep(points, bench::sweep_engine_config(cli));
+  bench::print_sweep_summary("e3", sweep);
+
   Table table({"T", "q* (measured)", "q* x T", "thm1.3 shape",
                "in thm1.3 window (c=10)"});
   std::vector<double> xs, measured, predicted;
-  for (const auto t_forced : ts) {
-    const auto q_star = measure_q_star(
-        n, k, eps, static_cast<std::uint64_t>(t_forced),
-        static_cast<std::size_t>(flags.trials),
-        derive_seed(static_cast<std::uint64_t>(flags.seed), t_forced));
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto t_forced = ts[i];
+    const std::uint64_t q_star =
+        sweep.points[i].found ? sweep.points[i].minimum : 0;
     if (q_star == 0) {
       std::cout << "T=" << t_forced << ": search failed\n";
       continue;

@@ -1,5 +1,10 @@
 // E4 — Theorem 1.4 (distributed learning of an unknown distribution).
 //
+// duti-lint: allow-file(no-serial-sweep-loop) -- the searched resource is
+// k (node count) for a LEARNING protocol, not a two-sided uniformity
+// probe: the sweep engine's declarative cache identity does not describe
+// this probe, and a raw-probe port would run uncached, buying nothing.
+//
 // Paper claim (lower bound): any q-query 1-bit protocol computing a
 // delta-approximation needs k = Omega(n^2/q^2) nodes. The natural 1-bit
 // upper bound we implement (presence-bit learner) needs

@@ -9,36 +9,7 @@
 
 #include "bench_common.hpp"
 #include "core/predictions.hpp"
-#include "stats/workloads.hpp"
-#include "testers/centralized.hpp"
-
-namespace {
-
-using namespace duti;
-
-template <typename Tester>
-std::uint64_t measure_q_star(std::uint64_t n, double eps, std::size_t trials,
-                             std::uint64_t seed,
-                             SamplingKernel kernel = SamplingKernel::kPerSample) {
-  const ProbeFn probe = [=](std::uint64_t q) {
-    const Tester tester(n, eps, static_cast<unsigned>(q), kernel);
-    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
-      return tester.run(src, rng);
-    };
-    return probe_success(run, workloads::uniform_factory(n),
-                         workloads::paninski_far_factory(n, eps), trials,
-                         derive_seed(seed, q));
-  };
-  MinSearchConfig cfg;
-  cfg.lo = 2;
-  cfg.hi = 1ULL << 18;
-  cfg.trials = trials;
-  cfg.seed = seed;
-  const auto result = find_min_param(probe, cfg);
-  return result.found ? result.minimum : 0;
-}
-
-}  // namespace
+#include "sweep_specs.hpp"
 
 int main(int argc, char** argv) {
   using namespace duti;
@@ -70,21 +41,39 @@ int main(int argc, char** argv) {
   bench::banner("E8  centralized baseline q* ~ sqrt(n)/eps^2  [Paninski'08]",
                 "expected: slope 1/2 in n, slope -2 in eps");
 
+  // Three engine sweeps over the n axis (one per tester family) plus the
+  // eps sweep below, all sharing one cache session; seed derivations match
+  // the old serial loops exactly.
+  const auto trials = static_cast<std::size_t>(flags.trials);
+  const auto seed = static_cast<std::uint64_t>(flags.seed);
+  const SweepEngineConfig engine = bench::sweep_engine_config(cli);
+  const SweepResult coll_sweep = run_sweep(
+      bench::e8_n_points<CentralizedCollisionTester>("collision", ns, eps,
+                                                     trials, seed, kernel),
+      engine);
+  const SweepResult chi_sweep = run_sweep(
+      bench::e8_n_points<ChiSquaredTester>("chi-squared", ns, eps, trials,
+                                           seed, kernel, 1),
+      engine);
+  const SweepResult coin_sweep = run_sweep(
+      bench::e8_n_points<PaninskiCoincidenceTester>("coincidence", ns, eps,
+                                                    trials, seed, kernel, 2),
+      engine);
+  bench::print_sweep_summary("e8_collision", coll_sweep);
+  bench::print_sweep_summary("e8_chi", chi_sweep);
+  bench::print_sweep_summary("e8_coincidence", coin_sweep);
+
   Table n_table({"n", "q* collision", "q* chi-squared", "q* coincidence",
                  "predicted sqrt(n)/eps^2"});
   std::vector<double> xs, measured, predicted;
-  for (const auto n : ns) {
-    const auto nd = static_cast<std::uint64_t>(n);
-    const auto seed_n =
-        derive_seed(static_cast<std::uint64_t>(flags.seed), n);
-    const auto q_star = measure_q_star<CentralizedCollisionTester>(
-        nd, eps, static_cast<std::size_t>(flags.trials), seed_n, kernel);
-    const auto q_chi = measure_q_star<ChiSquaredTester>(
-        nd, eps, static_cast<std::size_t>(flags.trials),
-        derive_seed(seed_n, 1), kernel);
-    const auto q_coin = measure_q_star<PaninskiCoincidenceTester>(
-        nd, eps, static_cast<std::size_t>(flags.trials),
-        derive_seed(seed_n, 2), kernel);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const auto n = ns[i];
+    const std::uint64_t q_star =
+        coll_sweep.points[i].found ? coll_sweep.points[i].minimum : 0;
+    const std::uint64_t q_chi =
+        chi_sweep.points[i].found ? chi_sweep.points[i].minimum : 0;
+    const std::uint64_t q_coin =
+        coin_sweep.points[i].found ? coin_sweep.points[i].minimum : 0;
     if (q_star == 0) continue;
     const double pred = predict::centralized_q(static_cast<double>(n), eps);
     n_table.add_row({n, static_cast<std::int64_t>(q_star),
@@ -106,12 +95,13 @@ int main(int argc, char** argv) {
   std::vector<double> exs, emeasured, epredicted;
   std::vector<double> eps_values{0.25, 0.35, 0.5, 0.7, 1.0};
   if (flags.quick) eps_values = {0.25, 0.5, 1.0};
-  for (const double e : eps_values) {
-    const auto q_star = measure_q_star<CentralizedCollisionTester>(
-        n_fixed, e, static_cast<std::size_t>(flags.trials),
-        derive_seed(static_cast<std::uint64_t>(flags.seed),
-                    static_cast<std::uint64_t>(e * 1000)),
-        kernel);
+  const SweepResult eps_sweep = run_sweep(
+      bench::e8_eps_points(n_fixed, eps_values, trials, seed, kernel), engine);
+  bench::print_sweep_summary("e8_eps", eps_sweep);
+  for (std::size_t i = 0; i < eps_values.size(); ++i) {
+    const double e = eps_values[i];
+    const std::uint64_t q_star =
+        eps_sweep.points[i].found ? eps_sweep.points[i].minimum : 0;
     if (q_star == 0) continue;
     const double pred =
         predict::centralized_q(static_cast<double>(n_fixed), e);

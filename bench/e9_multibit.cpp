@@ -14,38 +14,8 @@
 #include "bench_common.hpp"
 #include "core/multibit_analysis.hpp"
 #include "core/predictions.hpp"
-#include "stats/workloads.hpp"
+#include "sweep_specs.hpp"
 #include "testers/message_maps.hpp"
-#include "testers/multibit.hpp"
-
-namespace {
-
-using namespace duti;
-
-std::uint64_t measure_q_star(std::uint64_t n, unsigned k, double eps,
-                             unsigned r, std::size_t trials,
-                             std::uint64_t seed) {
-  const ProbeFn probe = [=](std::uint64_t q) {
-    Rng calib_rng = make_rng(seed, q, 0xCA11B);
-    const MultibitSumTester tester({n, k, static_cast<unsigned>(q), eps, r},
-                                   calib_rng);
-    const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
-      return tester.run(src, rng);
-    };
-    return probe_success(run, workloads::uniform_factory(n),
-                         workloads::paninski_far_factory(n, eps), trials,
-                         derive_seed(seed, q));
-  };
-  MinSearchConfig cfg;
-  cfg.lo = 2;
-  cfg.hi = 1ULL << 16;
-  cfg.trials = trials;
-  cfg.seed = seed;
-  const auto result = find_min_param(probe, cfg);
-  return result.found ? result.minimum : 0;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace duti;
@@ -67,15 +37,20 @@ int main(int argc, char** argv) {
                 "1-round statistical optimum; thm6.4 lower bound below "
                 "every point");
 
+  const auto points =
+      bench::e9_points(n, k, eps, rs, static_cast<std::size_t>(flags.trials),
+                       static_cast<std::uint64_t>(flags.seed));
+  const SweepResult sweep = run_sweep(points, bench::sweep_engine_config(cli));
+  bench::print_sweep_summary("e9", sweep);
+
   Table table({"r (bits)", "q* (measured)", "thm6.4 lower-bound shape",
                "1-bit baseline ratio"});
   std::vector<double> xs, measured;
   double q1 = 0.0;
-  for (const auto r : rs) {
-    const auto q_star = measure_q_star(
-        n, k, eps, static_cast<unsigned>(r),
-        static_cast<std::size_t>(flags.trials),
-        derive_seed(static_cast<std::uint64_t>(flags.seed), r));
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto r = rs[i];
+    const std::uint64_t q_star =
+        sweep.points[i].found ? sweep.points[i].minimum : 0;
     if (q_star == 0) {
       std::cout << "r=" << r << ": search failed\n";
       continue;

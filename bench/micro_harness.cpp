@@ -9,6 +9,10 @@
 // wall-clock throughput (trials/sec, speedup vs 1 thread); the timed
 // quantity never feeds a ProbeResult, and bit-identity is asserted
 // separately on the untimed results.
+// duti-lint: allow-file(no-serial-sweep-loop) -- this bench measures
+// find_min_param ITSELF (fixed vs adaptive bracketing, cache behavior);
+// routing it through run_sweep would put the engine between the
+// measurement and the thing measured.
 #include <chrono>
 #include <filesystem>
 #include <thread>
@@ -352,58 +356,54 @@ int main(int argc, char** argv) {
             << (cache_bit_identical ? "YES" : "NO") << "\n";
 
   // --- Emit BENCH_harness.json. --------------------------------------------
-  const std::string path = bench::output_dir() + "/BENCH_harness.json";
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"micro_harness\",\n");
-    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"probe\": {\"n\": %llu, \"k\": %u, \"q\": %u, "
-                    "\"trials\": %zu},\n",
-                 static_cast<unsigned long long>(n), k, q, trials);
-    std::fprintf(f, "  \"bit_identical\": %s,\n",
-                 bit_identical ? "true" : "false");
-    std::fprintf(f, "  \"probe_throughput\": [\n");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"threads\": %u, \"trials_per_sec\": %.2f, "
-                   "\"speedup_vs_1\": %.3f}%s\n",
-                   points[i].threads, points[i].trials_per_sec,
-                   points[i].speedup, i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f,
-                 "  \"sampling\": {\"per_sample_sps\": %.0f, "
-                 "\"batched_sps\": %.0f, \"batched_speedup\": %.3f},\n",
-                 scalar_sps, batched_sps, batched_sps / scalar_sps);
-    std::fprintf(f,
-                 "  \"adaptive_search\": {\"n\": %llu, \"eps\": %.3f, "
-                 "\"majority_reps\": %u, "
-                 "\"trials\": %zu, \"bracket_budget\": %zu, "
-                 "\"fixed_minimum\": %llu, \"adaptive_minimum\": %llu, "
-                 "\"fixed_trials_total\": %llu, "
-                 "\"adaptive_trials_total\": %llu, "
-                 "\"trial_reduction\": %.3f, \"fixed_seconds\": %.3f, "
-                 "\"adaptive_seconds\": %.3f, \"identical_minimum\": %s, "
-                 "\"same_final_verdict\": %s},\n",
-                 static_cast<unsigned long long>(search_n), search_eps,
-                 search_reps, search_trials, bracket_budget,
-                 static_cast<unsigned long long>(fixed_search.minimum),
-                 static_cast<unsigned long long>(adaptive_search.minimum),
-                 static_cast<unsigned long long>(fixed_trials_total),
-                 static_cast<unsigned long long>(adaptive_trials_total),
-                 trial_reduction, fixed_seconds, adaptive_seconds,
-                 same_minimum ? "true" : "false",
-                 same_final_verdict ? "true" : "false");
-    std::fprintf(f,
-                 "  \"probe_cache\": {\"hit_rate\": %.4f, "
-                 "\"cold_seconds\": %.3f, \"warm_seconds\": %.3f, "
-                 "\"bit_identical\": %s}\n",
-                 cache_hit_rate, cold_seconds, warm_seconds,
-                 cache_bit_identical ? "true" : "false");
-    std::fprintf(f, "}\n");
-    std::fclose(f);
-    std::cout << "wrote " << path << "\n";
+  std::string throughput = "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    throughput += "    {\"threads\": " + bench::json_u64(points[i].threads) +
+                  ", \"trials_per_sec\": " +
+                  bench::json_num(points[i].trials_per_sec) +
+                  ", \"speedup_vs_1\": " + bench::json_num(points[i].speedup) +
+                  "}";
+    throughput += i + 1 < points.size() ? ",\n" : "\n";
   }
+  throughput += "  ]";
+  const std::string path = bench::emit_bench_json(
+      "harness",
+      {{"probe", "{\"n\": " + bench::json_u64(n) +
+                     ", \"k\": " + bench::json_u64(k) +
+                     ", \"q\": " + bench::json_u64(q) +
+                     ", \"trials\": " + bench::json_u64(trials) + "}"},
+       {"bit_identical", bench::json_bool(bit_identical)},
+       {"probe_throughput", throughput},
+       {"sampling",
+        "{\"per_sample_sps\": " + bench::json_num(scalar_sps) +
+            ", \"batched_sps\": " + bench::json_num(batched_sps) +
+            ", \"batched_speedup\": " +
+            bench::json_num(batched_sps / scalar_sps) + "}"},
+       {"adaptive_search",
+        "{\"n\": " + bench::json_u64(search_n) +
+            ", \"eps\": " + bench::json_num(search_eps) +
+            ", \"majority_reps\": " + bench::json_u64(search_reps) +
+            ", \"trials\": " + bench::json_u64(search_trials) +
+            ", \"bracket_budget\": " + bench::json_u64(bracket_budget) +
+            ", \"fixed_minimum\": " + bench::json_u64(fixed_search.minimum) +
+            ", \"adaptive_minimum\": " +
+            bench::json_u64(adaptive_search.minimum) +
+            ", \"fixed_trials_total\": " + bench::json_u64(fixed_trials_total) +
+            ", \"adaptive_trials_total\": " +
+            bench::json_u64(adaptive_trials_total) +
+            ", \"trial_reduction\": " + bench::json_num(trial_reduction) +
+            ", \"fixed_seconds\": " + bench::json_num(fixed_seconds) +
+            ", \"adaptive_seconds\": " + bench::json_num(adaptive_seconds) +
+            ", \"identical_minimum\": " + bench::json_bool(same_minimum) +
+            ", \"same_final_verdict\": " + bench::json_bool(same_final_verdict) +
+            "}"},
+       {"probe_cache",
+        "{\"hit_rate\": " + bench::json_num(cache_hit_rate) +
+            ", \"cold_seconds\": " + bench::json_num(cold_seconds) +
+            ", \"warm_seconds\": " + bench::json_num(warm_seconds) +
+            ", \"bit_identical\": " + bench::json_bool(cache_bit_identical) +
+            "}"}});
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
 
   // Quick mode halves the probe budget, which also halves how much an early
   // stop can save, so the 3x bar applies to the default configuration only;

@@ -249,41 +249,43 @@ int main(int argc, char** argv) {
   sort_table.print(std::cout, "is_evenly_covered sort-path cost");
 
   // --- Emit BENCH_kernels.json. --------------------------------------------
-  const std::string path = bench::output_dir() + "/BENCH_kernels.json";
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"micro_kernels\",\n");
-    std::fprintf(f, "  \"cpu\": {\"supported_level\": \"%s\", "
-                    "\"active_level\": \"%s\"},\n",
-                 simd_level_name(supported),
-                 simd_level_name(simd_active_level()));
-    std::fprintf(f, "  \"bit_identical\": %s,\n",
-                 all_identical ? "true" : "false");
-    std::fprintf(f, "  \"max_speedup\": %.3f,\n", max_speedup);
-    std::fprintf(f, "  \"kernels\": [\n");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const auto& p = points[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"size\": %zu, "
-                   "\"scalar_ns\": %.0f, \"dispatched_ns\": %.0f, "
-                   "\"speedup\": %.3f, \"bit_identical\": %s}%s\n",
-                   p.name.c_str(), p.size, p.scalar_ns, p.dispatched_ns,
-                   p.speedup(), p.bit_identical ? "true" : "false",
-                   i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"evenly_covered_sort\": [\n");
-    for (std::size_t i = 0; i < sort_points.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"popcount\": %u, \"ns_per_call\": %.1f, "
-                   "\"path\": \"%s\"}%s\n",
-                   sort_points[i].popcount, sort_points[i].ns_per_call,
-                   sort_points[i].popcount <= 16 ? "insertion" : "std_sort",
-                   i + 1 < sort_points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::cout << "wrote " << path << "\n";
+  std::string kernels = "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    kernels += "    {\"name\": " + bench::json_str(p.name) +
+               ", \"size\": " + bench::json_u64(p.size) +
+               ", \"scalar_ns\": " + bench::json_num(p.scalar_ns) +
+               ", \"dispatched_ns\": " + bench::json_num(p.dispatched_ns) +
+               ", \"speedup\": " + bench::json_num(p.speedup()) +
+               ", \"bit_identical\": " + bench::json_bool(p.bit_identical) +
+               "}";
+    kernels += i + 1 < points.size() ? ",\n" : "\n";
   }
+  kernels += "  ]";
+  std::string sort_json = "[\n";
+  for (std::size_t i = 0; i < sort_points.size(); ++i) {
+    sort_json +=
+        "    {\"popcount\": " + bench::json_u64(sort_points[i].popcount) +
+        ", \"ns_per_call\": " + bench::json_num(sort_points[i].ns_per_call) +
+        ", \"path\": " +
+        bench::json_str(sort_points[i].popcount <= 16 ? "insertion"
+                                                      : "std_sort") +
+        "}";
+    sort_json += i + 1 < sort_points.size() ? ",\n" : "\n";
+  }
+  sort_json += "  ]";
+  const std::string path = bench::emit_bench_json(
+      "kernels",
+      {{"cpu", "{\"supported_level\": " +
+                   bench::json_str(simd_level_name(supported)) +
+                   ", \"active_level\": " +
+                   bench::json_str(simd_level_name(simd_active_level())) +
+                   "}"},
+       {"bit_identical", bench::json_bool(all_identical)},
+       {"max_speedup", bench::json_num(max_speedup)},
+       {"kernels", kernels},
+       {"evenly_covered_sort", sort_json}});
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
 
   std::cout << "max speedup vs scalar = " << format_double(max_speedup)
             << "x (acceptance on AVX2 hardware: >= 2x on some kernel)\n";

@@ -460,6 +460,40 @@ MinSearchResult find_min_param_impl(const ProbeFn& probe,
 
   const std::size_t width = pool.size();
 
+  // Warm-start hint: precompute, in one parallel wave, the exact
+  // consultation path the serial replay takes if the minimum is at
+  // cfg.hint — the doubling rungs up to the hint's bracket and the
+  // bisection midpoints descending to it, each in the flavor the replay
+  // will use at that step. The decision replay below never reads the hint,
+  // so the result is identical to the unhinted search by construction;
+  // this wave only decides WHICH values are already cached when the replay
+  // asks. Unlike the blind waves, this runs even from inside a pool worker
+  // (the pool shares nested chunks with idle workers), because the hinted
+  // path is consulted in full whenever the prediction is right.
+  if (cfg.hint >= cfg.lo && cfg.hint <= cfg.hi && width > 1) {
+    std::vector<Want> wave;
+    std::uint64_t rung = cfg.lo;
+    for (;;) {
+      wave.emplace_back(rung, bracketed);
+      if (rung >= cfg.hint || rung >= cfg.hi) break;
+      rung = std::min(cfg.hi, rung * 2);
+    }
+    if (rung != cfg.lo) {
+      std::uint64_t l = rung / 2;
+      std::uint64_t h = rung;
+      while (h - l > 1) {
+        const std::uint64_t m = l + (h - l) / 2;
+        wave.emplace_back(m, bracketed && (h - l) > cfg.full_budget_width);
+        if (cfg.hint <= m) {
+          h = m;
+        } else {
+          l = m;
+        }
+      }
+    }
+    ensure(wave);
+  }
+
   // Exponential bracketing: find the first power-of-two multiple of lo that
   // passes, speculating the next `width` rungs of the doubling ladder.
   // Rungs far from the threshold are exactly where adaptive probes certify

@@ -228,6 +228,16 @@ struct MinSearchConfig {
   // returns.
   bool adaptive_bracket = false;
   std::uint64_t full_budget_width = 8;
+  // Warm-start hint (0 = none): a predicted minimum, e.g. extrapolated from
+  // a neighboring sweep point (src/stats/sweep.hpp). Purely a scheduling
+  // hint: it seeds the first speculative wave with the exact consultation
+  // path the serial replay takes IF the minimum is at the hint (doubling
+  // rungs up to the hint's bracket, then the bisection midpoints descending
+  // to it, each in the flavor the replay would use). The serial decision
+  // sequence itself never looks at the hint, so the returned minimum and
+  // audit trail are provably identical to the unhinted search; a wrong hint
+  // only wastes the speculative wave.
+  std::uint64_t hint = 0;
 };
 
 struct MinSearchResult {

@@ -60,11 +60,83 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     body(begin, end, worker);
   };
 
-  // Serial paths: 1-thread pool, a single chunk, or a nested call from a
-  // worker of any pool. Chunk layout (and therefore any per-chunk
-  // reduction) is identical to the parallel path.
-  if (threads_ == 1 || chunks == 1 || tls_in_worker) {
+  // Serial paths: 1-thread pool or a single chunk. Chunk layout (and
+  // therefore any per-chunk reduction) is identical to the parallel path.
+  if (threads_ == 1 || chunks == 1) {
     for (std::size_t c = 0; c < chunks; ++c) run_chunk(c, 0);
+    return;
+  }
+
+  // Nested call from a pool worker (this pool's or another's): share the
+  // chunks with idle workers instead of serializing. The caller claims and
+  // runs chunks itself, so the loop always makes progress even if every
+  // helper task is stuck behind long-running work in the queue — a worker
+  // never blocks waiting on an unstarted task, which is what made the old
+  // "workers block on nested loops" design a deadlock. Helper tasks that
+  // get popped after the last chunk was claimed see an exhausted cursor
+  // and return without touching the (by then possibly dead) loop body, so
+  // the shared state owns copies of everything a late helper may read.
+  if (tls_in_worker) {
+    struct ShareState {
+      std::atomic<std::size_t> next{0};
+      std::size_t chunks = 0;
+      std::size_t n = 0;
+      std::size_t grain = 0;
+      const ChunkBody* body = nullptr;  // valid while done < chunks
+      std::atomic<bool> failed{false};
+      std::exception_ptr error;  // guarded by mutex
+      std::size_t done = 0;      // guarded by mutex; one tick per chunk
+      std::mutex mutex;
+      std::condition_variable all_done;
+    };
+    auto state = std::make_shared<ShareState>();
+    state->chunks = chunks;
+    state->n = n;
+    state->grain = grain;
+    state->body = &body;
+
+    auto drain = [](const std::shared_ptr<ShareState>& s, unsigned worker) {
+      for (;;) {
+        const std::size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= s->chunks) return;
+        if (!s->failed.load(std::memory_order_relaxed)) {
+          try {
+            const std::size_t begin = c * s->grain;
+            const std::size_t end = std::min(s->n, begin + s->grain);
+            (*s->body)(begin, end, worker);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(s->mutex);
+            if (!s->error) s->error = std::current_exception();
+            s->failed.store(true, std::memory_order_relaxed);
+          }
+        }
+        {
+          // Every claimed chunk ticks `done` exactly once (even when
+          // skipped after a failure), so done == chunks is the precise
+          // "no chunk is running or will run" completion condition.
+          const std::lock_guard<std::mutex> lock(s->mutex);
+          if (++s->done == s->chunks) s->all_done.notify_all();
+        }
+      }
+    };
+
+    const unsigned helpers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_ - 1, chunks - 1));
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (unsigned h = 1; h <= helpers; ++h) {
+        tasks_.emplace([state, drain, h] { drain(state, h); });
+      }
+    }
+    wake_.notify_all();
+
+    drain(state, 0);  // the caller is runner slot 0 and claims until empty
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->all_done.wait(lock,
+                           [&] { return state->done == state->chunks; });
+    }
+    if (state->error) std::rethrow_exception(state->error);
     return;
   }
 

@@ -8,10 +8,12 @@
 //      in chunk order, producing bit-identical output at any thread count.
 //      Which WORKER runs a chunk is scheduled dynamically (load balance);
 //      which TRIALS a chunk holds is not.
-//   2. Graceful serial degradation. A 1-thread pool, a single-chunk loop,
-//      and any parallel_for issued from inside a pool task all run inline on
-//      the calling thread (nested parallelism serializes instead of
-//      deadlocking), so the outermost parallel layer wins automatically.
+//   2. Graceful serial degradation. A 1-thread pool and a single-chunk loop
+//      run inline on the calling thread. A parallel_for issued from inside a
+//      pool task shares its chunks with idle workers while the caller keeps
+//      claiming chunks itself (nested point→trial scheduling): the loop
+//      always progresses on the calling thread, so nesting cannot deadlock,
+//      and idle workers drain the inner loop instead of spinning.
 //   3. No silent swallowing: the first exception thrown by a chunk body is
 //      captured and rethrown on the calling thread after the loop drains.
 //
@@ -51,8 +53,9 @@ class ThreadPool {
   /// Apply `body` to [0, n) in chunks of `grain` (last chunk may be short):
   /// chunk c covers [c*grain, min(n, (c+1)*grain)). Blocks until every chunk
   /// ran; rethrows the first chunk exception. Runs inline when the pool has
-  /// one thread, there is at most one chunk, or the caller is itself a pool
-  /// worker (nested call).
+  /// one thread or there is at most one chunk. Called from inside a pool
+  /// task (nested), the caller claims chunks itself while idle workers help
+  /// drain the rest — same chunk layout, so reductions stay bit-identical.
   void parallel_for(std::size_t n, std::size_t grain, const ChunkBody& body);
 
   /// Process-wide pool, sized by configured_threads() on first use.

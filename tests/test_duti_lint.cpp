@@ -264,6 +264,46 @@ double gemm_m128_tile = 1.0;
   EXPECT_EQ(count_rule(r, "no-intrinsics-outside-kernels"), 0u);
 }
 
+TEST(NoSerialSweepLoop, FlagsBenchCallingFindMinParamWithoutRunSweep) {
+  const auto r = lint("bench/e99_demo.cpp", R"(int main() {
+  const auto a = find_min_param(probe, cfg);
+  const auto b = find_min_param(probe, bracket, cfg);
+}
+)");
+  EXPECT_EQ(count_rule(r, "no-serial-sweep-loop"), 2u);
+  EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(NoSerialSweepLoop, FileUsingRunSweepIsClean) {
+  const auto r = lint("bench/e99_demo.cpp", R"(int main() {
+  const auto sweep = run_sweep(points, cfg);
+  const auto aux = find_min_param(probe, cfg);
+}
+)");
+  EXPECT_EQ(count_rule(r, "no-serial-sweep-loop"), 0u);
+}
+
+TEST(NoSerialSweepLoop, OutOfScopeAndLookalikesAreClean) {
+  // src/ and tests/ may call find_min_param freely; the rule is bench-only.
+  const auto src = lint("src/stats/harness.cpp",
+                        "auto r = find_min_param(probe, cfg);\n");
+  EXPECT_EQ(count_rule(src, "no-serial-sweep-loop"), 0u);
+  // find_min_param_median and mentions in comments/strings don't count.
+  const auto bench = lint("bench/e99_demo.cpp", R"(// find_min_param(
+double m = find_min_param_median(make_probe, cfg, 5);
+const char* s = "find_min_param(";
+)");
+  EXPECT_EQ(count_rule(bench, "no-serial-sweep-loop"), 0u);
+}
+
+TEST(NoSerialSweepLoop, FileScopeSuppressionApplies) {
+  const auto r = lint("bench/e99_demo.cpp",
+                      R"(// duti-lint: allow-file(no-serial-sweep-loop) -- categorical axis.
+const auto a = find_min_param(probe, cfg);
+)");
+  EXPECT_EQ(count_rule(r, "no-serial-sweep-loop"), 0u);
+}
+
 TEST(Lexer, CommentsAndStringsAreInvisible) {
   const auto r = lint("src/a.cpp",
                       "// std::random_device in a comment\n"

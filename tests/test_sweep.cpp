@@ -1,0 +1,341 @@
+// Tests for the deterministic sweep engine (src/stats/sweep.hpp): the
+// warm-start identity guarantee (hints never change the minimum OR the
+// audit trail, monotone family or not), the cross-thread-count /
+// cross-cache-mode fingerprint invariant, and the hint interpolator.
+#include "stats/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/probe_cache.hpp"
+#include "stats/workloads.hpp"
+#include "testers/centralized.hpp"
+#include "util/rng.hpp"
+
+namespace duti {
+namespace {
+
+// --- Raw-probe fixtures ----------------------------------------------------
+
+// A synthetic family of step probes: point i passes iff value >=
+// thresholds[i]. Pure functions of the value, so warm-start speculation is
+// legal; no randomness, so audit identity checks are exact.
+std::vector<SweepPoint> step_points(const std::vector<std::uint64_t>& thresholds,
+                                    std::uint64_t hi = 1ULL << 12) {
+  std::vector<SweepPoint> points;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const std::uint64_t threshold = thresholds[i];
+    SweepPoint p;
+    p.label = "step" + std::to_string(i);
+    p.axis = static_cast<double>(i + 1);
+    p.search.lo = 2;
+    p.search.hi = hi;
+    p.probe = [threshold](std::uint64_t value) {
+      ProbeResult r;
+      r.trials = 1;
+      r.budget = 1;
+      r.uniform_successes = value >= threshold ? 1 : 0;
+      r.far_successes = 1;
+      r.uniform_accept_rate = value >= threshold ? 1.0 : 0.0;
+      r.far_reject_rate = 1.0;
+      return r;
+    };
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void expect_same_audit(const SweepPointResult& a, const SweepPointResult& b) {
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.minimum, b.minimum);
+  EXPECT_EQ(a.verdict, b.verdict);
+  ASSERT_EQ(a.audit.size(), b.audit.size()) << a.label;
+  for (std::size_t i = 0; i < a.audit.size(); ++i) {
+    EXPECT_EQ(a.audit[i].first, b.audit[i].first) << a.label << " step " << i;
+    EXPECT_EQ(a.audit[i].second.trials, b.audit[i].second.trials);
+    EXPECT_EQ(a.audit[i].second.uniform_successes,
+              b.audit[i].second.uniform_successes);
+    EXPECT_EQ(a.audit[i].second.far_successes,
+              b.audit[i].second.far_successes);
+    EXPECT_EQ(a.audit[i].second.stop, b.audit[i].second.stop);
+  }
+}
+
+// --- Hint interpolation ----------------------------------------------------
+
+TEST(SweepInterpolateHint, LogLogPowerLawIsExactAtAnchors) {
+  // min = 100 * axis^{-1/2}: axis 4 -> 50, axis 64 -> 12.5. The midpoint
+  // axis 16 should land near 25 (log-log interpolation is exact on power
+  // laws up to rounding).
+  const std::uint64_t h = sweep_interpolate_hint(4.0, 50, 64.0, 13, 16.0, 2,
+                                                 1ULL << 16);
+  EXPECT_GE(h, 24u);
+  EXPECT_LE(h, 27u);
+}
+
+TEST(SweepInterpolateHint, ClampsToRange) {
+  EXPECT_EQ(sweep_interpolate_hint(1.0, 4, 2.0, 1ULL << 40, 2.0, 2, 100), 100u);
+  // Slope -2 power law extrapolated to axis 8 lands at ~0.19 -> clamp lo.
+  EXPECT_EQ(sweep_interpolate_hint(1.0, 12, 2.0, 3, 8.0, 10, 100), 10u);
+}
+
+TEST(SweepInterpolateHint, NoAnchorsMeansNoHint) {
+  EXPECT_EQ(sweep_interpolate_hint(1.0, 0, 2.0, 0, 1.5, 2, 100), 0u);
+}
+
+TEST(SweepInterpolateHint, NonPositiveAxisFallsBackToLinear) {
+  // axis0 = 0 would break the log path; the linear fallback still lands
+  // between the anchor minima.
+  const std::uint64_t h = sweep_interpolate_hint(0.0, 10, 2.0, 40, 1.0, 2,
+                                                 1ULL << 16);
+  EXPECT_GE(h, 10u);
+  EXPECT_LE(h, 40u);
+}
+
+TEST(SweepInterpolateHint, DegenerateEqualAxes) {
+  const std::uint64_t h = sweep_interpolate_hint(3.0, 16, 3.0, 64, 3.0, 2,
+                                                 1ULL << 16);
+  EXPECT_GE(h, 16u);
+  EXPECT_LE(h, 64u);
+}
+
+// --- Warm/cold identity on raw probes --------------------------------------
+
+TEST(SweepEngine, WarmEqualsColdOnMonotoneFamily) {
+  // Minima follow a smooth decreasing family, the warm-start predictor's
+  // best case: hints land close and the speculative wave is productive.
+  const std::vector<std::uint64_t> thresholds{400, 200, 100, 50, 25};
+  ThreadPool pool(1);
+  ProbeCache off("", CacheMode::kOff);
+
+  SweepEngineConfig cold;
+  cold.warm_start = false;
+  cold.cache = &off;
+  SweepEngineConfig warm;
+  warm.warm_start = true;
+  warm.cache = &off;
+
+  const SweepResult c = run_sweep(step_points(thresholds), cold, pool);
+  const SweepResult w = run_sweep(step_points(thresholds), warm, pool);
+  ASSERT_EQ(c.points.size(), thresholds.size());
+  ASSERT_EQ(w.points.size(), thresholds.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    EXPECT_TRUE(c.points[i].found);
+    EXPECT_EQ(c.points[i].minimum, thresholds[i]);
+    // Raw probes carry no adaptive bracket flavor, so warm mode differs
+    // from cold ONLY by the hint — and the hint must not change anything
+    // the search consults.
+    expect_same_audit(c.points[i], w.points[i]);
+  }
+  // Interior points got nonzero hints (anchors stay cold by construction).
+  EXPECT_EQ(w.points.front().hint, 0u);
+  EXPECT_EQ(w.points.back().hint, 0u);
+  for (std::size_t i = 1; i + 1 < thresholds.size(); ++i) {
+    EXPECT_GT(w.points[i].hint, 0u) << i;
+  }
+  EXPECT_EQ(c.points[1].hint, 0u);  // cold mode never hints
+}
+
+TEST(SweepEngine, WarmEqualsColdOnAdversarialNonMonotoneNeighbor) {
+  // The interior minimum (200) sits far ABOVE both anchors (10, 12), so
+  // log-log interpolation predicts ~11 — maximally wrong. The audit must
+  // still match the cold search exactly: a wrong hint only wastes the
+  // speculative wave.
+  const std::vector<std::uint64_t> thresholds{10, 200, 12};
+  ThreadPool pool(4);
+  ProbeCache off("", CacheMode::kOff);
+
+  SweepEngineConfig cold;
+  cold.warm_start = false;
+  cold.cache = &off;
+  SweepEngineConfig warm;
+  warm.warm_start = true;
+  warm.cache = &off;
+
+  const SweepResult c = run_sweep(step_points(thresholds), cold, pool);
+  const SweepResult w = run_sweep(step_points(thresholds), warm, pool);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    EXPECT_EQ(c.points[i].minimum, thresholds[i]);
+    expect_same_audit(c.points[i], w.points[i]);
+  }
+  // The wrong hint really was wrong (nowhere near 200).
+  EXPECT_GT(w.points[1].hint, 0u);
+  EXPECT_LT(w.points[1].hint, 50u);
+}
+
+TEST(SweepEngine, PointBeyondCapReportsNotFoundWithFalseVerdict) {
+  const std::vector<std::uint64_t> thresholds{8, 1ULL << 20, 16};
+  ThreadPool pool(1);
+  ProbeCache off("", CacheMode::kOff);
+  SweepEngineConfig cfg;
+  cfg.cache = &off;
+  const SweepResult r = run_sweep(step_points(thresholds, /*hi=*/1024), cfg,
+                                  pool);
+  EXPECT_TRUE(r.points[0].found);
+  EXPECT_FALSE(r.points[1].found);
+  EXPECT_FALSE(r.points[1].verdict);
+  EXPECT_TRUE(r.points[2].found);
+  EXPECT_EQ(r.points[2].minimum, 16u);
+}
+
+// --- MinSearchConfig::hint on find_min_param directly -----------------------
+
+TEST(FindMinParamHint, HintNeverChangesMinimumOrAudit) {
+  const ProbeFn probe = [](std::uint64_t value) {
+    ProbeResult r;
+    r.trials = 1;
+    r.budget = 1;
+    r.uniform_successes = value >= 137 ? 1 : 0;
+    r.far_successes = 1;
+    r.uniform_accept_rate = value >= 137 ? 1.0 : 0.0;
+    r.far_reject_rate = 1.0;
+    return r;
+  };
+  MinSearchConfig cfg;
+  cfg.lo = 2;
+  cfg.hi = 1ULL << 14;
+  const MinSearchResult base = find_min_param(probe, cfg);
+
+  ThreadPool pool(8);
+  for (const std::uint64_t hint : {0ULL, 137ULL, 2ULL, 5000ULL, 1ULL << 14}) {
+    MinSearchConfig hinted = cfg;
+    hinted.hint = hint;
+    const MinSearchResult got = find_min_param(probe, hinted, pool);
+    EXPECT_EQ(got.found, base.found) << "hint=" << hint;
+    EXPECT_EQ(got.minimum, base.minimum) << "hint=" << hint;
+    ASSERT_EQ(got.probes.size(), base.probes.size()) << "hint=" << hint;
+    for (std::size_t i = 0; i < base.probes.size(); ++i) {
+      EXPECT_EQ(got.probes[i].first, base.probes[i].first)
+          << "hint=" << hint << " step " << i;
+    }
+  }
+}
+
+// --- Fingerprint invariance on a real tester --------------------------------
+
+class SweepFingerprintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("duti_sweep_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+std::vector<SweepPoint> collision_points() {
+  // Small but real: the centralized collision tester over a 64-element
+  // Paninski workload at three n values. Cheap enough for a unit test,
+  // random enough to exercise the whole probe path.
+  std::vector<SweepPoint> points;
+  for (const std::uint64_t n : {32ULL, 64ULL, 128ULL}) {
+    SweepPoint p;
+    p.label = "n=" + std::to_string(n);
+    p.axis = static_cast<double>(n);
+    p.search.lo = 2;
+    p.search.hi = 512;
+    p.search.trials = 60;
+    p.search.seed = derive_seed(99, n);
+    p.uniform = workloads::uniform_factory(n);
+    p.far = workloads::paninski_far_factory(n, 0.5);
+    p.make_tester = [n](std::uint64_t q) -> TesterRun {
+      auto tester = std::make_shared<CentralizedCollisionTester>(
+          n, 0.5, static_cast<unsigned>(q), SamplingKernel::kPerSample);
+      return [tester](const SampleSource& src, Rng& rng) {
+        return tester->run(src, rng);
+      };
+    };
+    p.cache_base.workload = "paninski:n=" + std::to_string(n) + ":eps=0.5";
+    p.cache_base.tester = "collision";
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST_F(SweepFingerprintTest, InvariantAcrossThreadsAndCacheModes) {
+  ProbeCache off("", CacheMode::kOff);
+  ProbeCache rw(dir_, CacheMode::kReadWrite);
+
+  SweepEngineConfig cfg;
+  cfg.warm_start = true;
+  cfg.cache = &off;
+
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+
+  const SweepResult t1_off = run_sweep(collision_points(), cfg, pool1);
+  const SweepResult t8_off = run_sweep(collision_points(), cfg, pool8);
+  cfg.cache = &rw;
+  const SweepResult t1_rw = run_sweep(collision_points(), cfg, pool1);
+  const SweepResult t8_rw = run_sweep(collision_points(), cfg, pool8);
+
+  EXPECT_NE(t1_off.fingerprint, 0u);
+  EXPECT_EQ(t1_off.fingerprint, t8_off.fingerprint);
+  EXPECT_EQ(t1_off.fingerprint, t1_rw.fingerprint);
+  EXPECT_EQ(t1_off.fingerprint, t8_rw.fingerprint);
+  for (std::size_t i = 0; i < t1_off.points.size(); ++i) {
+    expect_same_audit(t1_off.points[i], t8_off.points[i]);
+    expect_same_audit(t1_off.points[i], t1_rw.points[i]);
+    expect_same_audit(t1_off.points[i], t8_rw.points[i]);
+  }
+  // Consulted totals are part of the invariant; computed totals are not
+  // (speculation at 8 threads may compute more).
+  EXPECT_EQ(t1_off.trials_consulted, t8_off.trials_consulted);
+  EXPECT_EQ(t1_off.trials_consulted, t1_rw.trials_consulted);
+  // The rw rerun below answers everything from cache.
+  cfg.cache = &rw;
+  const SweepResult rerun = run_sweep(collision_points(), cfg, pool1);
+  EXPECT_EQ(rerun.fingerprint, t1_off.fingerprint);
+  EXPECT_EQ(rerun.trials_computed, 0u);
+  EXPECT_EQ(rerun.cache.misses, 0u);
+  EXPECT_GT(rerun.cache.hits, 0u);
+}
+
+TEST_F(SweepFingerprintTest, WarmMatchesColdMinimaOnRealTester) {
+  ProbeCache off("", CacheMode::kOff);
+  ThreadPool pool(1);
+
+  SweepEngineConfig cold;
+  cold.warm_start = false;
+  cold.cache = &off;
+  SweepEngineConfig warm;
+  warm.warm_start = true;
+  warm.cache = &off;
+
+  const SweepResult c = run_sweep(collision_points(), cold, pool);
+  const SweepResult w = run_sweep(collision_points(), warm, pool);
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    EXPECT_EQ(c.points[i].found, w.points[i].found);
+    EXPECT_EQ(c.points[i].minimum, w.points[i].minimum) << c.points[i].label;
+    EXPECT_EQ(c.points[i].verdict, w.points[i].verdict);
+  }
+  // Warm mode's adaptive bracket certificates consult no more trials than
+  // the cold full-budget search.
+  EXPECT_LE(w.trials_consulted, c.trials_consulted);
+}
+
+TEST(SweepFingerprint, SensitiveToResults) {
+  SweepPointResult a;
+  a.label = "p";
+  a.axis = 2.0;
+  a.found = true;
+  a.minimum = 10;
+  std::vector<SweepPointResult> one{a};
+  const std::uint64_t f1 = sweep_fingerprint(one);
+  one[0].minimum = 11;
+  EXPECT_NE(sweep_fingerprint(one), f1);
+}
+
+}  // namespace
+}  // namespace duti

@@ -69,19 +69,53 @@ TEST(ThreadPool, PropagatesFirstException) {
       InvalidArgument);
 }
 
-TEST(ThreadPool, NestedParallelForRunsInline) {
+TEST(ThreadPool, NestedParallelForCompletesAllChunks) {
   ThreadPool pool(4);
-  std::atomic<int> nested_inline{0};
+  std::atomic<int> nested_complete{0};
   pool.parallel_for(8, 1, [&](std::size_t, std::size_t, unsigned) {
     EXPECT_TRUE(ThreadPool::in_worker());
-    // A nested loop must not deadlock and must run on this same thread.
+    // A nested loop must not deadlock; its chunks may be shared with idle
+    // workers, but every chunk runs exactly once before the call returns.
     std::atomic<int> local{0};
     ThreadPool::global().parallel_for(
         4, 1, [&](std::size_t, std::size_t, unsigned) { local.fetch_add(1); });
-    if (local.load() == 4) nested_inline.fetch_add(1);
+    if (local.load() == 4) nested_complete.fetch_add(1);
   });
-  EXPECT_EQ(nested_inline.load(), 8);
+  EXPECT_EQ(nested_complete.load(), 8);
   EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, NestedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Outer loop of 2 chunks, each running a nested loop over a disjoint
+  // half; nested chunks are shared with idle workers yet must cover each
+  // index exactly once.
+  const std::size_t half = 5000;
+  std::vector<std::atomic<int>> counts(2 * half);
+  pool.parallel_for(2, 1, [&](std::size_t ob, std::size_t, unsigned) {
+    const std::size_t base = ob * half;
+    pool.parallel_for(half, 7, [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t i = b; i < e; ++i) counts[base + i].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, NestedPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(2, 1,
+                        [&](std::size_t ob, std::size_t, unsigned) {
+                          pool.parallel_for(
+                              50, 1, [&](std::size_t b, std::size_t, unsigned) {
+                                if (ob == 1 && b == 17) {
+                                  throw InvalidArgument("nested boom");
+                                }
+                              });
+                        }),
+      InvalidArgument);
 }
 
 TEST(ThreadPool, EmptyAndSingleChunkRunInline) {

@@ -278,6 +278,14 @@ std::vector<Rule> build_rules() {
        "bit-identical to the vector paths",
        {"src/", "tests/", "bench/"},
        {"src/util/simd.hpp", "src/util/kernels"}, false},
+      // Sweep discipline: benches that q*-sweep an axis should go through
+      // the sweep engine (warm starts, shared cache, point parallelism)
+      // instead of a serial loop of cold find_min_param calls.
+      {"no-serial-sweep-loop",
+       "bench calls find_min_param directly without using run_sweep; "
+       "axis sweeps should build SweepPoints and call duti::run_sweep "
+       "(src/stats/sweep.hpp) for warm starts and the shared probe cache",
+       {"bench/"}, {}, false},
       // Meta rules, emitted by the suppression parser itself.
       {"bare-suppression",
        "duti-lint suppressions must carry '-- <justification>' text",
@@ -628,6 +636,22 @@ void check_intrinsics(const std::string& file, const std::vector<Line>& lines,
   }
 }
 
+void check_serial_sweep_loop(const std::string& file,
+                             const std::vector<Line>& lines,
+                             RawFindings& out) {
+  // A file that calls run_sweep anywhere has adopted the engine; auxiliary
+  // find_min_param calls beside it (calibration, one-off searches) are fine.
+  for (const auto& line : lines)
+    if (has_word(line.code, "run_sweep")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (word_followed_by(lines[i].code, "find_min_param", '('))
+      add(out, file, static_cast<int>(i + 1), "no-serial-sweep-loop",
+          "direct find_min_param call in a bench that never calls "
+          "run_sweep; sweep the axis through duti::run_sweep to get warm "
+          "starts, the shared probe cache, and point-level parallelism");
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& default_rules() {
@@ -673,6 +697,8 @@ void lint_source(const std::string& rel_path, const std::string& content,
     check_exit_in_library(rel_path, lines, raw);
   if (enabled("no-intrinsics-outside-kernels"))
     check_intrinsics(rel_path, lines, raw);
+  if (enabled("no-serial-sweep-loop"))
+    check_serial_sweep_loop(rel_path, lines, raw);
 
   // Collect suppressions; malformed ones are themselves findings.
   std::set<std::string> file_allowed;                 // rule -> whole file
