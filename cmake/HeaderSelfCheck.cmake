@@ -1,6 +1,7 @@
-# Header self-sufficiency check: compile every src/**/*.hpp standalone in
-# its own translation unit, so a header that silently leans on its
-# includer's includes fails the lint lane instead of a future refactor.
+# Header self-sufficiency check: compile every src/**/*.hpp and
+# tools/**/*.hpp standalone in its own translation unit, so a header that
+# silently leans on its includer's includes fails the lint lane instead of
+# a future refactor.
 #
 # The generated object library is EXCLUDE_FROM_ALL; the CTest target
 # `header_self_sufficiency` builds it on demand (and is labeled "lint" so
@@ -8,6 +9,11 @@
 function(duti_add_header_self_check)
   file(GLOB_RECURSE duti_headers RELATIVE ${CMAKE_SOURCE_DIR}/src
        CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  # Tool headers (duti_lint, duti_analyze) are spelled repo-relative; the
+  # extra include dirs below mirror the tools' own target include paths.
+  file(GLOB_RECURSE duti_tool_headers RELATIVE ${CMAKE_SOURCE_DIR}
+       CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/tools/*.hpp)
+  list(APPEND duti_headers ${duti_tool_headers})
   set(check_tus "")
   foreach(hdr IN LISTS duti_headers)
     string(MAKE_C_IDENTIFIER ${hdr} hdr_id)
@@ -26,7 +32,11 @@ function(duti_add_header_self_check)
   endforeach()
 
   add_library(duti_header_check OBJECT EXCLUDE_FROM_ALL ${check_tus})
-  target_include_directories(duti_header_check PRIVATE ${CMAKE_SOURCE_DIR}/src)
+  target_include_directories(duti_header_check PRIVATE
+    ${CMAKE_SOURCE_DIR}
+    ${CMAKE_SOURCE_DIR}/src
+    ${CMAKE_SOURCE_DIR}/tools/duti_lint
+    ${CMAKE_SOURCE_DIR}/tools/duti_analyze)
   find_package(Threads REQUIRED)
   target_link_libraries(duti_header_check PRIVATE Threads::Threads)
 

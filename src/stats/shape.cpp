@@ -20,8 +20,9 @@ ShapeComparison compare_shapes(const std::vector<double>& x,
   // c = exp(mean(log m - log p)) minimizes sum (log m - log(c p))^2.
   double log_c = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
-    // duti-lint: allow(no-float-accumulate) -- single-threaded curve fit in
-    // fixed index order, not a probe reduction; no tally crosses threads.
+    // duti-lint: allow(no-float-accumulate, pure-float-reduce) -- single-
+    // threaded curve fit in fixed index order, not a probe reduction; no
+    // tally crosses threads.
     log_c += std::log(measured[i] / predicted[i]);
   }
   log_c /= static_cast<double>(x.size());

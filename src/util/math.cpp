@@ -106,7 +106,10 @@ LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
   require(x.size() == y.size(), "fit_line: size mismatch");
   require(x.size() >= 2, "fit_line: need at least two points");
   const auto n = static_cast<double>(x.size());
+  // duti-lint: allow(pure-float-reduce) -- serial fold over one sweep's
+  // handful of points, in container order; never a cross-thread tally.
   const double sx = std::accumulate(x.begin(), x.end(), 0.0);
+  // duti-lint: allow(pure-float-reduce) -- same fixed-order serial fold.
   const double sy = std::accumulate(y.begin(), y.end(), 0.0);
   double sxx = 0.0, sxy = 0.0, syy = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {

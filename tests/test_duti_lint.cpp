@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -403,6 +407,164 @@ TEST(Report, HumanOutputAnchorsFileAndLine) {
   const std::string human = duti::lint::to_human(r);
   EXPECT_NE(human.find("src/a.cpp:1: [no-rand]"), std::string::npos);
   EXPECT_NE(human.find("1 finding"), std::string::npos);
+}
+
+TEST(StaleSuppression, UnusedLineScopedSuppressionIsFlagged) {
+  const auto r = lint("src/a.cpp",
+                      R"(int x = 1;  // duti-lint: allow(no-rand) -- why
+)");
+  ASSERT_EQ(count_rule(r, "stale-suppression"), 1u);
+  EXPECT_EQ(r.findings[0].line, 1);
+  EXPECT_NE(r.findings[0].message.find("'no-rand'"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("on its line"), std::string::npos);
+}
+
+TEST(StaleSuppression, UnusedFileScopedSuppressionIsFlagged) {
+  const auto r = lint("src/a.cpp",
+                      R"(// duti-lint: allow-file(no-rand) -- why
+int x = 1;
+)");
+  ASSERT_EQ(count_rule(r, "stale-suppression"), 1u);
+  EXPECT_NE(r.findings[0].message.find("in this file"), std::string::npos);
+}
+
+TEST(StaleSuppression, CreditedSuppressionIsNotStale) {
+  const auto r = lint("src/a.cpp",
+                      R"(int x = rand();  // duti-lint: allow(no-rand) -- why
+)");
+  EXPECT_EQ(count_rule(r, "stale-suppression"), 0u);
+  EXPECT_EQ(count_rule(r, "no-rand"), 0u);
+  EXPECT_EQ(r.suppressions_used, 1u);
+}
+
+TEST(StaleSuppression, WrongLineSuppressionIsStaleAndFindingSurvives) {
+  const auto r = lint("src/a.cpp",
+                      R"(int x = 1;  // duti-lint: allow(no-rand) -- why
+int y = rand();
+)");
+  EXPECT_EQ(count_rule(r, "stale-suppression"), 1u);
+  EXPECT_EQ(count_rule(r, "no-rand"), 1u);
+}
+
+TEST(StaleSuppression, ForeignAnalyzerRulesAreExempt) {
+  // rng-copy belongs to duti-analyze: the linter accepts the name (no
+  // unknown-rule) but must not stale-flag it — duti_analyze runs the
+  // symmetric check over the rules it owns.
+  const auto r = lint("src/a.cpp",
+                      R"(int x = 1;  // duti-lint: allow(rng-copy) -- theirs
+)");
+  EXPECT_EQ(count_rule(r, "unknown-rule"), 0u);
+  EXPECT_EQ(count_rule(r, "stale-suppression"), 0u);
+  EXPECT_EQ(r.suppressions_used, 0u);
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(duti::lint::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, NewlineAndTab) {
+  EXPECT_EQ(duti::lint::json_escape("a\nb\tc"), "a\\nb\\tc");
+}
+
+TEST(JsonEscape, ControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(duti::lint::json_escape(std::string("\x01\x1f")),
+            "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, NonAsciiUtf8PassesThrough) {
+  const std::string mu = "\xce\xbc";  // U+03BC in UTF-8
+  EXPECT_EQ(duti::lint::json_escape(mu), mu);
+}
+
+TEST(JsonEscape, EscapedMessageStaysInsideJsonString) {
+  duti::lint::LintReport r = duti::lint::make_report();
+  r.findings.push_back(
+      {"src/a.cpp", 1, "no-rand", "say \"no\" to rand\\srand"});
+  r.rule_counts["no-rand"] = 1;
+  r.files_scanned = 1;
+  const std::string json = duti::lint::to_json(r);
+  EXPECT_NE(json.find("say \\\"no\\\" to rand\\\\srand"), std::string::npos);
+  EXPECT_EQ(json.find("say \"no\""), std::string::npos);
+}
+
+// The CLI exit-code contract (0 clean, 1 findings, 2 usage/IO), pinned
+// in-process against a small on-disk tree.
+class LintCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() / "duti_lint_cli_tree";
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_ / "src");
+    write("src/clean.cpp", "int x = 1;\n");
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    std::ofstream out(root_ / rel, std::ios::binary);
+    out << content;
+  }
+
+  int cli(const std::vector<std::string>& extra, std::string* stdout_text,
+          std::string* stderr_text) {
+    std::vector<std::string> args = {"duti_lint", "--root", root_.string()};
+    args.insert(args.end(), extra.begin(), extra.end());
+    std::vector<const char*> argv;
+    argv.reserve(args.size());
+    for (const auto& a : args) argv.push_back(a.c_str());
+    std::ostringstream out, err;
+    const int code = duti::lint::run_lint_cli(static_cast<int>(argv.size()),
+                                              argv.data(), out, err);
+    if (stdout_text != nullptr) *stdout_text = out.str();
+    if (stderr_text != nullptr) *stderr_text = err.str();
+    return code;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(LintCli, CleanTreeExitsZero) {
+  std::string out;
+  EXPECT_EQ(cli({}, &out, nullptr), 0);
+  EXPECT_NE(out.find("0 findings"), std::string::npos);
+}
+
+TEST_F(LintCli, FindingsExitOne) {
+  write("src/dirty.cpp", "int x = rand();\n");
+  std::string out;
+  EXPECT_EQ(cli({}, &out, nullptr), 1);
+  EXPECT_NE(out.find("no-rand"), std::string::npos);
+}
+
+TEST_F(LintCli, ListRulesExitsZero) {
+  std::string out;
+  EXPECT_EQ(cli({"--list-rules"}, &out, nullptr), 0);
+  EXPECT_NE(out.find("no-rand"), std::string::npos);
+  EXPECT_NE(out.find("stale-suppression"), std::string::npos);
+}
+
+TEST_F(LintCli, UnknownFlagExitsTwoWithUsage) {
+  std::string err;
+  EXPECT_EQ(cli({"--bogus"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown option '--bogus'"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(LintCli, BadRootExitsTwo) {
+  std::vector<const char*> argv = {"duti_lint", "--root", "/no/such/root"};
+  std::ostringstream out, err;
+  EXPECT_EQ(duti::lint::run_lint_cli(static_cast<int>(argv.size()),
+                                     argv.data(), out, err),
+            2);
+  EXPECT_NE(err.str().find("not a directory"), std::string::npos);
+}
+
+TEST_F(LintCli, UnwritableOutExitsTwo) {
+  std::string err;
+  EXPECT_EQ(cli({"--json", "--out",
+                 (root_ / "no_such_dir/report.json").string()},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("cannot write"), std::string::npos);
 }
 
 }  // namespace

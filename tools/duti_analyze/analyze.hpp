@@ -1,0 +1,184 @@
+// duti-analyze: cross-TU semantic analysis for the duti tree (DESIGN.md §13).
+//
+// duti-lint (tools/duti_lint) enforces invariants one line at a time; this
+// tool enforces the ones that live BETWEEN translation units:
+//
+//   1. Layering. #include directives across src/, bench/, tests/, tools/,
+//      and examples/ form a module DAG that must respect the declared
+//      layering in tools/duti_analyze/layers.txt — no cycles, no edges into
+//      the same or a higher layer (rules layer-violation, layer-cycle,
+//      layer-unknown-module).
+//   2. RNG-stream dataflow. Functions must not take an RNG by value, copy
+//      an RNG object, or draw from a captured RNG inside a parallel_for
+//      lambda — every parallel stream derives its own seed (rules
+//      rng-by-value, rng-copy, rng-captured-in-parallel).
+//   3. Determinism purity. Walking the call graph from every function
+//      defined in src/stats (the probe/reduction layer), transitively
+//      reachable code must be free of wall-clock reads, locale use,
+//      unordered-container iteration, and float accumulation (rules
+//      pure-wall-clock, pure-locale, pure-unordered-iteration,
+//      pure-float-reduce). This extends duti-lint's file-local rules to
+//      everything the reduction paths can actually execute.
+//
+// Everything is built on duti-lint's lexer (lint::lex_lines) and reuses its
+// suppression grammar verbatim: `// duti-lint: allow(<rule>) -- why`.
+// Directives naming analyzer rules are credited here (and go stale here);
+// directives naming linter rules are ignored here and handled by duti-lint.
+// The two registries are pinned against each other by test_duti_analyze.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace duti::analyze {
+
+/// One rule violation at a file:line anchor. `path` is non-empty only for
+/// purity findings: the call chain from the src/stats entry point to the
+/// offending function, rendered "entry -> mid -> leaf".
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string path;
+};
+
+/// A registry entry (name + rationale; scoping is built into each pass).
+struct Rule {
+  std::string name;
+  std::string description;
+};
+
+/// The analyzer rule registry (order is the report order). Every name here
+/// must appear in lint::foreign_rule_names() except "stale-suppression",
+/// which both tools own for their respective registries.
+const std::vector<Rule>& default_rules();
+
+// ---------------------------------------------------------------------------
+// Layer policy (layers.txt)
+// ---------------------------------------------------------------------------
+
+/// Parsed layering policy. `layers[i]` lists the modules of layer i (lowest
+/// first); an include edge A -> B is legal iff layer(B) < layer(A), A == B,
+/// or (A, B) is in `allowed_edges`. Same-layer sibling edges are illegal by
+/// default — siblings share a layer precisely because they must not know
+/// about each other.
+struct LayerPolicy {
+  std::vector<std::vector<std::string>> layers;
+  std::vector<std::pair<std::string, std::string>> allowed_edges;
+};
+
+/// Parse the layers.txt grammar:
+///
+///   # comment
+///   layer <module> [<module>...]     (one line per layer, lowest first)
+///   allow <from> <to>                (extra legal edge)
+///
+/// Returns false and sets `error` on malformed lines or duplicate modules.
+bool parse_layer_policy(const std::string& text, LayerPolicy& policy,
+                        std::string& error);
+
+/// Module of a repo-relative path: second component under src/ ("src/util/…"
+/// -> "util"), first component otherwise ("bench/…" -> "bench", "tools/…" ->
+/// "tools"). Empty for paths with no directory.
+std::string module_of(const std::string& rel_path);
+
+// ---------------------------------------------------------------------------
+// Token stream & symbol table, built on lint::lex_lines
+// ---------------------------------------------------------------------------
+
+/// One token of blanked code: identifiers, numbers, string/char blanks
+/// ("" / ''), and punctuation ("::" and "->" combined, else single chars).
+struct Token {
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+std::vector<Token> tokenize(const std::vector<lint::LexedLine>& lines);
+
+/// One function definition found in a token stream. Indices are into the
+/// tokenize() result; ranges are [begin, end) with `end` one past the
+/// closing ')' / '}'. Lambdas are not definitions — their bodies belong to
+/// the enclosing function, which is what the dataflow rules want.
+struct FunctionDef {
+  std::string name;          ///< simple (unqualified) name
+  int line = 0;              ///< line of the name token
+  std::size_t params_begin = 0, params_end = 0;
+  std::size_t body_begin = 0, body_end = 0;
+};
+
+/// Heuristic definition finder: identifier + '(' whose matched paren group
+/// is followed (modulo const/noexcept(...)/trailing-return/ctor-init-list)
+/// by '{'. Deliberately under-approximating: a construct it cannot prove to
+/// be a definition is skipped, never misattributed.
+std::vector<FunctionDef> find_functions(const std::vector<Token>& tokens);
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+/// One input file (repo-relative path + full contents).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct AnalyzeReport {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressions_used = 0;
+  /// Finding count per registry rule; every rule present (zeros included).
+  std::map<std::string, std::size_t> rule_counts;
+  /// The module DAG actually observed (sorted, deduplicated).
+  std::vector<std::string> modules;
+  std::vector<std::pair<std::string, std::string>> module_edges;
+  std::size_t include_directives = 0;  ///< resolved in-tree includes
+  std::size_t functions = 0;           ///< definitions found
+  std::size_t call_edges = 0;          ///< name-resolved call-graph edges
+  std::size_t entry_points = 0;        ///< defs in src/stats
+  std::size_t reachable_functions = 0; ///< defs reachable from entries
+  /// FNV-1a over the sorted module edges, function names, and call edges.
+  /// A pure function of the scanned sources: invariant to input order,
+  /// thread count, and environment.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Analyze in-memory sources against a policy. Findings are sorted by
+/// (file, line, rule); rule_counts is pre-seeded with zeros.
+AnalyzeReport analyze_sources(const std::vector<SourceFile>& files,
+                              const LayerPolicy& policy);
+
+/// Walk `rel_paths` under `root` (default scan set when empty: src bench
+/// tests tools examples), load every .hpp/.h/.cpp/.cc, and analyze against
+/// the policy at `root`/tools/duti_analyze/layers.txt (or `layers_path`
+/// when non-empty). Throws std::runtime_error on unreadable policy.
+AnalyzeReport analyze_tree(const std::string& root,
+                           const std::vector<std::string>& rel_paths,
+                           const std::string& layers_path = "");
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+/// "file:line: [rule] message (via path)" lines plus a summary table.
+std::string to_human(const AnalyzeReport& report);
+
+/// Machine-readable report (stable key order, valid JSON).
+std::string to_json(const AnalyzeReport& report);
+
+/// The observed module DAG in Graphviz dot format, layer-ranked when a
+/// policy is supplied (illegal edges are not special-cased: render what is).
+std::string to_dot(const AnalyzeReport& report, const LayerPolicy& policy);
+
+/// CLI driver behind the duti_analyze binary; exit codes as duti_lint:
+/// 0 clean, 1 findings, 2 usage or I/O error.
+int run_analyze_cli(int argc, const char* const* argv, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace duti::analyze

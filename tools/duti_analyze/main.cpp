@@ -1,0 +1,9 @@
+// duti_analyze binary entry point. All logic lives in run_analyze_cli
+// (analyze_cli.cpp) so tests can pin flags and exit codes in-process.
+#include <iostream>
+
+#include "analyze.hpp"
+
+int main(int argc, char** argv) {
+  return duti::analyze::run_analyze_cli(argc, argv, std::cout, std::cerr);
+}

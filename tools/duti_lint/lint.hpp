@@ -19,10 +19,17 @@
 //   // duti-lint: allow-file(<rule>) -- why the whole file is exempt
 //
 // A suppression with no "-- justification" text is itself a finding
-// (rule "bare-suppression"), so exemptions stay documented.
+// (rule "bare-suppression"), so exemptions stay documented. A justified
+// suppression whose rule produces no finding on its line/file is dead
+// weight and is reported as "stale-suppression".
+//
+// The same comment grammar is shared with the cross-TU semantic analyzer
+// (tools/duti_analyze): suppressions naming an analyzer-owned rule (see
+// foreign_rule_names()) are accepted here and enforced there.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -52,6 +59,48 @@ struct Rule {
 /// The project rule registry (order is the report order).
 const std::vector<Rule>& default_rules();
 
+/// Rule names owned by sibling tools that share the suppression grammar
+/// (today: tools/duti_analyze). The unknown-rule check accepts them, and
+/// the stale-suppression check skips them — their findings live in the
+/// owning tool's report, not this one. test_duti_analyze pins this list
+/// against the analyzer's actual registry so the two cannot drift.
+const std::vector<std::string>& foreign_rule_names();
+
+// ---------------------------------------------------------------------------
+// Lexer — shared with tools/duti_analyze, which builds its token stream,
+// symbol table, and call graph on top of the same lexical pass.
+// ---------------------------------------------------------------------------
+
+/// One physical source line after the lexical pass.
+struct LexedLine {
+  std::string code;     ///< comments removed, string/char contents blanked
+  std::string comment;  ///< concatenated comment text on this line
+};
+
+/// Strip comments and literal contents while preserving line numbers.
+/// Handles //, /* */, "..." with escapes, '...' (distinguishing digit
+/// separators like 1'000'000), and raw strings R"delim(...)delim".
+std::vector<LexedLine> lex_lines(const std::string& src);
+
+/// One parsed "duti-lint: allow[-file](rule[, rule]) -- justification"
+/// directive from a comment.
+struct SuppressionDirective {
+  std::vector<std::string> rules;
+  bool file_scope = false;
+  bool justified = false;
+  int line = 0;           ///< 1-based line the comment sits on
+  bool own_line = false;  ///< comment-only line: applies to the next line
+};
+
+/// Parse every directive out of one line's comment text. Returns directives
+/// in order; malformed rule lists yield a directive with empty `rules`.
+std::vector<SuppressionDirective> parse_suppressions(const std::string& comment,
+                                                     int line, bool own_line);
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
 /// Aggregate result of linting one or more sources.
 struct LintReport {
   std::vector<Finding> findings;
@@ -77,10 +126,20 @@ void lint_source(const std::string& rel_path, const std::string& content,
 LintReport lint_tree(const std::string& root,
                      const std::vector<std::string>& rel_paths);
 
+/// Escape one string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters; UTF-8 bytes pass through untouched).
+/// Shared by the lint and analyze JSON emitters.
+std::string json_escape(const std::string& s);
+
 /// Render "file:line: [rule] message" lines plus a per-rule summary table.
 std::string to_human(const LintReport& report);
 
 /// Render the machine-readable report (stable key order, valid JSON).
 std::string to_json(const LintReport& report);
+
+/// CLI driver behind the duti_lint binary, separated so tests can pin the
+/// exit-code contract: 0 clean, 1 findings, 2 usage or I/O error.
+int run_lint_cli(int argc, const char* const* argv, std::ostream& out,
+                 std::ostream& err);
 
 }  // namespace duti::lint

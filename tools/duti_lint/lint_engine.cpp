@@ -22,19 +22,12 @@ bool is_ident(char c) {
 
 bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
 
-/// One physical source line after the lexical pass.
-struct Line {
-  std::string code;     ///< comments removed, string/char contents blanked
-  std::string comment;  ///< concatenated comment text on this line
-};
+}  // namespace
 
-/// Strip comments and literal contents while preserving line numbers.
-/// Handles //, /* */, "..." with escapes, '...' (distinguishing digit
-/// separators like 1'000'000), and raw strings R"delim(...)delim".
-std::vector<Line> lex_lines(const std::string& src) {
+std::vector<LexedLine> lex_lines(const std::string& src) {
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  std::vector<Line> out;
-  Line cur;
+  std::vector<LexedLine> out;
+  LexedLine cur;
   State state = State::kCode;
   std::string raw_close;  // ")delim\"" terminator for the active raw string
   char last_code = '\0';  // last non-blanked code char, for R" detection
@@ -46,7 +39,7 @@ std::vector<Line> lex_lines(const std::string& src) {
     if (c == '\n') {
       if (state == State::kLineComment) state = State::kCode;
       out.push_back(std::move(cur));
-      cur = Line{};
+      cur = LexedLine{};
       continue;
     }
     switch (state) {
@@ -121,6 +114,8 @@ std::vector<Line> lex_lines(const std::string& src) {
   return out;
 }
 
+namespace {
+
 /// All positions where `word` occurs in `s` with non-identifier boundaries.
 std::vector<std::size_t> word_positions(const std::string& s,
                                         const std::string& word) {
@@ -156,28 +151,23 @@ bool word_followed_by(const std::string& s, const std::string& word,
   return false;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Suppressions
+// Suppressions — public so tools/duti_analyze reuses the exact grammar.
 // ---------------------------------------------------------------------------
 
-struct Suppression {
-  std::vector<std::string> rules;
-  bool file_scope = false;
-  bool justified = false;
-  int line = 0;        // 1-based line the comment sits on
-  bool own_line = false;  // comment-only line: applies to the next line
-};
-
-/// Parse "duti-lint: allow(rule[, rule]) -- justification" directives out of
-/// a line's comment text. Also recognizes allow-file. Returns directives in
-/// order; malformed rule lists yield a directive with empty `rules`.
-std::vector<Suppression> parse_suppressions(const std::string& comment,
-                                            int line, bool own_line) {
-  std::vector<Suppression> out;
-  std::size_t at = 0;
-  while ((at = comment.find("duti-lint:", at)) != std::string::npos) {
+std::vector<SuppressionDirective> parse_suppressions(const std::string& comment,
+                                                     int line, bool own_line) {
+  std::vector<SuppressionDirective> out;
+  // A directive comment IS a directive: only whitespace may precede the
+  // "duti-lint:" marker. Comments that merely mention the grammar (docs,
+  // this file) are not directives.
+  const std::size_t at = comment.find("duti-lint:");
+  if (at == std::string::npos || skip_spaces(comment, 0) != at) return out;
+  {
     std::size_t p = skip_spaces(comment, at + 10);
-    Suppression s;
+    SuppressionDirective s;
     s.line = line;
     s.own_line = own_line;
     if (comment.compare(p, 10, "allow-file") == 0) {
@@ -186,8 +176,7 @@ std::vector<Suppression> parse_suppressions(const std::string& comment,
     } else if (comment.compare(p, 5, "allow") == 0) {
       p += 5;
     } else {
-      at += 10;
-      continue;
+      return out;  // "duti-lint:" with no allow verb: not a directive
     }
     p = skip_spaces(comment, p);
     if (p < comment.size() && comment[p] == '(') {
@@ -214,10 +203,11 @@ std::vector<Suppression> parse_suppressions(const std::string& comment,
       s.justified = !why.empty();
     }
     out.push_back(std::move(s));
-    at = p;
   }
   return out;
 }
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Rule registry
@@ -231,10 +221,10 @@ std::vector<Rule> build_rules() {
       {"no-random-device",
        "std::random_device is nondeterministic; derive seeds with "
        "duti::derive_seed from an explicit root seed",
-       {"src/", "tests/", "bench/"}, {}, false},
+       {"src/", "tests/", "bench/", "tools/"}, {}, false},
       {"no-rand",
        "std::rand/srand use hidden global state; use duti::Xoshiro256pp",
-       {"src/", "tests/", "bench/"}, {}, false},
+       {"src/", "tests/", "bench/", "tools/"}, {}, false},
       {"no-wall-clock",
        "wall-clock reads (time(), *_clock::now()) break bit-identical "
        "replay; results must depend only on seeds",
@@ -242,7 +232,7 @@ std::vector<Rule> build_rules() {
       {"no-default-mt19937",
        "default-constructed std::mt19937 has a fixed but implementation-"
        "defined seed; construct generators from an explicit seed",
-       {"src/", "tests/", "bench/"}, {}, false},
+       {"src/", "tests/", "bench/", "tools/"}, {}, false},
       {"no-raw-thread",
        "raw std::thread/std::async/OpenMP bypass the deterministic "
        "ThreadPool; use duti::ThreadPool / parallel_for",
@@ -259,13 +249,13 @@ std::vector<Rule> build_rules() {
       // Hygiene.
       {"pragma-once",
        "every header must start with #pragma once",
-       {"src/", "tests/", "bench/"}, {}, true},
+       {"src/", "tests/", "bench/", "tools/"}, {}, true},
       {"no-using-namespace-header",
        "using namespace in a header leaks into every includer",
-       {"src/", "tests/", "bench/"}, {}, true},
+       {"src/", "tests/", "bench/", "tools/"}, {}, true},
       {"no-side-effect-assert",
        "assert() with side effects changes behavior under NDEBUG",
-       {"src/", "tests/", "bench/"}, {}, false},
+       {"src/", "tests/", "bench/", "tools/"}, {}, false},
       {"no-exit-in-library",
        "library code must not call exit/abort/terminate: it kills the "
        "embedding process (and every in-flight cache write); throw a duti "
@@ -292,6 +282,10 @@ std::vector<Rule> build_rules() {
        {}, {}, false},
       {"unknown-rule",
        "suppression names a rule that is not in the registry",
+       {}, {}, false},
+      {"stale-suppression",
+       "justified suppression whose rule produces no finding on its "
+       "line/file; delete it so exemptions track reality",
        {}, {}, false},
   };
 }
@@ -324,7 +318,7 @@ void add(RawFindings& out, const std::string& file, int line,
 }
 
 void check_random_device(const std::string& file,
-                         const std::vector<Line>& lines, RawFindings& out) {
+                         const std::vector<LexedLine>& lines, RawFindings& out) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
     if (has_word(lines[i].code, "random_device"))
       add(out, file, static_cast<int>(i + 1), "no-random-device",
@@ -333,7 +327,7 @@ void check_random_device(const std::string& file,
   }
 }
 
-void check_rand(const std::string& file, const std::vector<Line>& lines,
+void check_rand(const std::string& file, const std::vector<LexedLine>& lines,
                 RawFindings& out) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -344,7 +338,7 @@ void check_rand(const std::string& file, const std::vector<Line>& lines,
   }
 }
 
-void check_wall_clock(const std::string& file, const std::vector<Line>& lines,
+void check_wall_clock(const std::string& file, const std::vector<LexedLine>& lines,
                       RawFindings& out) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -365,7 +359,7 @@ void check_wall_clock(const std::string& file, const std::vector<Line>& lines,
 }
 
 void check_default_mt19937(const std::string& file,
-                           const std::vector<Line>& lines, RawFindings& out) {
+                           const std::vector<LexedLine>& lines, RawFindings& out) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
     for (const char* word : {"mt19937", "mt19937_64"}) {
@@ -395,7 +389,7 @@ void check_default_mt19937(const std::string& file,
   }
 }
 
-void check_raw_thread(const std::string& file, const std::vector<Line>& lines,
+void check_raw_thread(const std::string& file, const std::vector<LexedLine>& lines,
                       RawFindings& out) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -457,7 +451,7 @@ void collect_declared(const std::string& code,
 }
 
 void check_unordered_iteration(const std::string& file,
-                               const std::vector<Line>& lines,
+                               const std::vector<LexedLine>& lines,
                                RawFindings& out) {
   std::set<std::string> unordered;
   for (const auto& line : lines)
@@ -492,7 +486,7 @@ void check_unordered_iteration(const std::string& file,
 }
 
 void check_float_accumulate(const std::string& file,
-                            const std::vector<Line>& lines, RawFindings& out) {
+                            const std::vector<LexedLine>& lines, RawFindings& out) {
   std::set<std::string> floats;
   for (const auto& line : lines)
     collect_declared(line.code, {"double", "float"}, floats);
@@ -524,7 +518,7 @@ void check_float_accumulate(const std::string& file,
   }
 }
 
-void check_pragma_once(const std::string& file, const std::vector<Line>& lines,
+void check_pragma_once(const std::string& file, const std::vector<LexedLine>& lines,
                        RawFindings& out) {
   for (const auto& line : lines) {
     const std::size_t first = skip_spaces(line.code, 0);
@@ -536,7 +530,7 @@ void check_pragma_once(const std::string& file, const std::vector<Line>& lines,
 }
 
 void check_using_namespace_header(const std::string& file,
-                                  const std::vector<Line>& lines,
+                                  const std::vector<LexedLine>& lines,
                                   RawFindings& out) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -550,7 +544,7 @@ void check_using_namespace_header(const std::string& file,
 }
 
 void check_side_effect_assert(const std::string& file,
-                              const std::vector<Line>& lines,
+                              const std::vector<LexedLine>& lines,
                               RawFindings& out) {
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -584,7 +578,7 @@ void check_side_effect_assert(const std::string& file,
 }
 
 void check_exit_in_library(const std::string& file,
-                           const std::vector<Line>& lines, RawFindings& out) {
+                           const std::vector<LexedLine>& lines, RawFindings& out) {
   // Word-boundary matching keeps identifiers like my_exit or set_terminate
   // clean; only a call-shaped use (name followed by '(') is process death.
   static const char* const kKillers[] = {"exit", "_Exit", "quick_exit",
@@ -603,7 +597,7 @@ void check_exit_in_library(const std::string& file,
   }
 }
 
-void check_intrinsics(const std::string& file, const std::vector<Line>& lines,
+void check_intrinsics(const std::string& file, const std::vector<LexedLine>& lines,
                       RawFindings& out) {
   // x86 intrinsic headers, vector register types, and _mm*_ call prefixes.
   // Prefix matching (left boundary only) covers the suffixed families
@@ -637,7 +631,7 @@ void check_intrinsics(const std::string& file, const std::vector<Line>& lines,
 }
 
 void check_serial_sweep_loop(const std::string& file,
-                             const std::vector<Line>& lines,
+                             const std::vector<LexedLine>& lines,
                              RawFindings& out) {
   // A file that calls run_sweep anywhere has adopted the engine; auxiliary
   // find_min_param calls beside it (calibration, one-off searches) are fine.
@@ -659,6 +653,18 @@ const std::vector<Rule>& default_rules() {
   return rules;
 }
 
+const std::vector<std::string>& foreign_rule_names() {
+  // Owned by tools/duti_analyze. unknown-rule accepts them; the stale check
+  // skips them (their findings live in the analyzer's report, not here).
+  static const std::vector<std::string> names = {
+      "layer-violation",          "layer-cycle",
+      "layer-unknown-module",     "rng-by-value",
+      "rng-copy",                 "rng-captured-in-parallel",
+      "pure-wall-clock",          "pure-locale",
+      "pure-unordered-iteration", "pure-float-reduce"};
+  return names;
+}
+
 LintReport make_report() {
   LintReport report;
   for (const auto& rule : default_rules()) report.rule_counts[rule.name] = 0;
@@ -668,7 +674,7 @@ LintReport make_report() {
 void lint_source(const std::string& rel_path, const std::string& content,
                  LintReport& report) {
   if (report.rule_counts.empty()) report.rule_counts = make_report().rule_counts;
-  const std::vector<Line> lines = lex_lines(content);
+  const std::vector<LexedLine> lines = lex_lines(content);
   const bool header = is_header_path(rel_path);
   ++report.files_scanned;
 
@@ -700,11 +706,21 @@ void lint_source(const std::string& rel_path, const std::string& content,
   if (enabled("no-serial-sweep-loop"))
     check_serial_sweep_loop(rel_path, lines, raw);
 
-  // Collect suppressions; malformed ones are themselves findings.
-  std::set<std::string> file_allowed;                 // rule -> whole file
-  std::map<std::string, std::set<int>> line_allowed;  // rule -> lines
-  std::set<std::string> known;
+  // Collect suppressions; malformed ones are themselves findings. Each
+  // well-formed, justified directive becomes an AllowEntry whose credit
+  // count feeds the stale-suppression check below.
+  struct AllowEntry {
+    std::string rule;
+    bool file_scope = false;
+    int target = 0;  // line a line-scoped entry covers
+    int at = 0;      // line the directive sits on (finding anchor)
+    bool foreign = false;
+    std::size_t used = 0;
+  };
+  std::vector<AllowEntry> allows;
+  std::set<std::string> known, foreign;
   for (const auto& r : rules) known.insert(r.name);
+  for (const auto& n : foreign_rule_names()) foreign.insert(n);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     if (lines[i].comment.find("duti-lint") == std::string::npos) continue;
     const bool own_line = skip_spaces(lines[i].code, 0) >= lines[i].code.size();
@@ -718,15 +734,19 @@ void lint_source(const std::string& rel_path, const std::string& content,
         add(raw, rel_path, s.line, "unknown-rule",
             "suppression names no rule: expected allow(<rule>[, <rule>])");
       for (const auto& name : s.rules) {
-        if (!known.count(name)) {
+        const bool is_foreign = foreign.count(name) > 0;
+        if (!known.count(name) && !is_foreign) {
           add(raw, rel_path, s.line, "unknown-rule",
               "suppression names unknown rule '" + name + "'");
           continue;
         }
         if (!s.justified) continue;  // undocumented exemptions don't apply
-        if (s.file_scope) {
-          file_allowed.insert(name);
-        } else {
+        AllowEntry e;
+        e.rule = name;
+        e.file_scope = s.file_scope;
+        e.at = s.line;
+        e.foreign = is_foreign;
+        if (!s.file_scope) {
           // A trailing comment covers its own line; a standalone comment
           // covers the next line that has code (so multi-line
           // justifications work).
@@ -738,25 +758,44 @@ void lint_source(const std::string& rel_path, const std::string& content,
               ++j;
             target = static_cast<int>(j + 1);
           }
-          line_allowed[name].insert(target);
+          e.target = target;
         }
+        allows.push_back(std::move(e));
       }
     }
   }
 
   for (auto& f : raw) {
+    // Meta findings from the suppression parser are never suppressible.
     const bool meta = f.rule == "bare-suppression" || f.rule == "unknown-rule";
+    bool suppressed = false;
     if (!meta) {
-      if (file_allowed.count(f.rule)) {
-        ++report.suppressions_used;
-        continue;
-      }
-      auto it = line_allowed.find(f.rule);
-      if (it != line_allowed.end() && it->second.count(f.line)) {
-        ++report.suppressions_used;
-        continue;
+      for (auto& e : allows) {
+        if (e.foreign || e.rule != f.rule) continue;
+        if (e.file_scope || e.target == f.line) {
+          ++e.used;
+          suppressed = true;
+          break;
+        }
       }
     }
+    if (suppressed) {
+      ++report.suppressions_used;
+      continue;
+    }
+    ++report.rule_counts[f.rule];
+    report.findings.push_back(std::move(f));
+  }
+
+  // A justified suppression that credited no finding is dead weight.
+  // Foreign (analyzer-owned) rules are exempt: duti_analyze runs its own
+  // symmetric stale check over the rules it owns.
+  for (const auto& e : allows) {
+    if (e.foreign || e.used > 0) continue;
+    Finding f{rel_path, e.at, "stale-suppression",
+              "suppression of '" + e.rule + "' matches no finding " +
+                  (e.file_scope ? "in this file" : "on its line") +
+                  "; remove it"};
     ++report.rule_counts[f.rule];
     report.findings.push_back(std::move(f));
   }

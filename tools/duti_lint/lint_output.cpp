@@ -7,8 +7,10 @@
 #include <sstream>
 
 namespace duti::lint {
-namespace {
 
+// Public (declared in lint.hpp): the analyze emitter in tools/duti_analyze
+// embeds the same strings (paths, justifications) and must escape them the
+// same way.
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -30,8 +32,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string to_human(const LintReport& report) {
   std::ostringstream out;

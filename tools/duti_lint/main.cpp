@@ -1,86 +1,9 @@
-// duti_lint CLI. Lints the repo's src/, bench/, and tests/ trees (or an
-// explicit list of files/directories) against the project rule registry.
-//
-//   duti_lint [--root <dir>] [--json] [--out <file>] [--list-rules] [paths...]
-//
-// Exit status: 0 clean, 1 findings, 2 usage or I/O error. Wired into CTest
-// as the `duti_lint` test, so a new violation fails tier-1 `ctest`.
-#include <filesystem>
-#include <fstream>
+// duti_lint binary entry point. All logic lives in run_lint_cli (lint_cli.cpp)
+// so tests can pin the flag handling and exit-code contract in-process.
 #include <iostream>
-#include <string>
-#include <vector>
 
 #include "lint.hpp"
 
-namespace {
-
-int usage(std::ostream& out, int code) {
-  out << "usage: duti_lint [--root <dir>] [--json] [--out <file>]"
-         " [--list-rules] [paths...]\n"
-         "  --root <dir>   repository root to scan (default: .)\n"
-         "  --json         machine-readable report on stdout (or --out)\n"
-         "  --out <file>   write the report to <file> instead of stdout\n"
-         "  --list-rules   print the rule registry and exit\n"
-         "  paths          files/dirs relative to root"
-         " (default: src bench tests)\n";
-  return code;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::string root = ".";
-  std::string out_path;
-  bool json = false;
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-    } else if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--list-rules") {
-      for (const auto& rule : duti::lint::default_rules()) {
-        std::cout << rule.name << "\n    " << rule.description << "\n    scope:";
-        if (rule.include.empty()) std::cout << " (everywhere)";
-        for (const auto& p : rule.include) std::cout << " " << p;
-        for (const auto& p : rule.exclude) std::cout << " -" << p;
-        if (rule.headers_only) std::cout << " [headers only]";
-        std::cout << "\n";
-      }
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      return usage(std::cout, 0);
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "duti_lint: unknown option '" << arg << "'\n";
-      return usage(std::cerr, 2);
-    } else {
-      paths.push_back(arg);
-    }
-  }
-  if (paths.empty()) paths = {"src", "bench", "tests"};
-  if (!std::filesystem::is_directory(root)) {
-    std::cerr << "duti_lint: root '" << root << "' is not a directory\n";
-    return 2;
-  }
-
-  const duti::lint::LintReport report = duti::lint::lint_tree(root, paths);
-  const std::string rendered =
-      json ? duti::lint::to_json(report) : duti::lint::to_human(report);
-  if (!out_path.empty()) {
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out) {
-      std::cerr << "duti_lint: cannot write '" << out_path << "'\n";
-      return 2;
-    }
-    out << rendered;
-  } else {
-    std::cout << rendered;
-  }
-  if (!json && !out_path.empty())
-    std::cout << "duti-lint: report written to " << out_path << "\n";
-  return report.findings.empty() ? 0 : 1;
+  return duti::lint::run_lint_cli(argc, argv, std::cout, std::cerr);
 }
