@@ -19,8 +19,7 @@
 #include "bench_common.hpp"
 #include "core/predictions.hpp"
 #include "stats/workloads.hpp"
-#include "testers/collision.hpp"
-#include "testers/distributed.hpp"
+#include "testers/asymmetric.hpp"
 #include "util/confidence.hpp"
 
 namespace {
@@ -32,63 +31,6 @@ double l2_norm(const std::vector<double>& rates) {
   for (double t : rates) acc += t * t;
   return std::sqrt(acc);
 }
-
-/// One protocol execution at time budget tau: player i draws
-/// q_i = max(2, ceil(tau * T_i)) samples and votes on its local collision
-/// count; the referee threshold is calibrated per configuration.
-class AsymmetricTester {
- public:
-  AsymmetricTester(std::uint64_t n, std::vector<double> rates, double tau,
-                   Rng& calib_rng)
-      : n_(n), qs_(rates.size()) {
-    for (std::size_t j = 0; j < rates.size(); ++j) {
-      qs_[j] = static_cast<unsigned>(
-          std::max(2.0, std::ceil(tau * rates[j])));
-    }
-    // Per-player uniform rejection probabilities by simulation.
-    p_.resize(qs_.size());
-    const UniformSource uniform(n_);
-    std::vector<std::uint64_t> samples;
-    for (std::size_t j = 0; j < qs_.size(); ++j) {
-      const double local_t = expected_collision_pairs_uniform(
-          static_cast<double>(n_), qs_[j]);
-      SuccessCounter rejects;
-      for (int t = 0; t < 600; ++t) {
-        uniform.sample_many(calib_rng, qs_[j], samples);
-        rejects.record(static_cast<double>(collision_pairs(samples)) >
-                       local_t);
-      }
-      p_[j] = rejects.rate();
-    }
-    double mean = 0.0, var = 0.0;
-    for (double p : p_) {
-      mean += p;
-      var += p * (1.0 - p);
-    }
-    referee_t_ = mean + std::sqrt(std::max(1e-12, var));
-  }
-
-  [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const {
-    std::vector<std::uint64_t> samples;
-    double rejects = 0.0;
-    for (std::size_t j = 0; j < qs_.size(); ++j) {
-      Rng player_rng = make_rng(rng(), j);
-      source.sample_many(player_rng, qs_[j], samples);
-      const double local_t = expected_collision_pairs_uniform(
-          static_cast<double>(n_), qs_[j]);
-      if (static_cast<double>(collision_pairs(samples)) > local_t) {
-        rejects += 1.0;
-      }
-    }
-    return rejects < referee_t_;
-  }
-
- private:
-  std::uint64_t n_;
-  std::vector<unsigned> qs_;
-  std::vector<double> p_;
-  double referee_t_ = 1.0;
-};
 
 }  // namespace
 
@@ -135,8 +77,11 @@ int main(int argc, char** argv) {
     const ProbeFn probe = [&](std::uint64_t tau) {
       Rng calib_rng =
           make_rng(static_cast<std::uint64_t>(flags.seed), tau, 0xCA11B);
-      const AsymmetricTester tester(n, shape.rates,
-                                    static_cast<double>(tau), calib_rng);
+      // The library tester replays the original bench-local tester's
+      // calibration stream and verdicts bit-for-bit (same 600 trials per
+      // player from this shared calib_rng, same referee comparison).
+      const AsymmetricRateTester tester(n, shape.rates,
+                                        static_cast<double>(tau), calib_rng);
       const TesterRun run = [&tester](const SampleSource& src, Rng& rng) {
         return tester.run(src, rng);
       };

@@ -1,0 +1,75 @@
+#include "testers/calibration.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace duti {
+
+std::string calib_rng_tag(const Rng& rng) {
+  const Rng::State s = rng.state();
+  std::array<char, 4 * 16 + 4> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx.%016llx.%016llx.%016llx",
+                static_cast<unsigned long long>(s[0]),
+                static_cast<unsigned long long>(s[1]),
+                static_cast<unsigned long long>(s[2]),
+                static_cast<unsigned long long>(s[3]));
+  return std::string(buf.data());
+}
+
+CalibMemo& CalibMemo::global() {
+  static CalibMemo memo;
+  return memo;
+}
+
+std::optional<std::vector<std::uint64_t>> CalibMemo::lookup(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = map_.find(id); it != map_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  if (hooks_.load) {
+    if (auto payload = hooks_.load(id)) {
+      ++stats_.loads;
+      map_.emplace(id, *payload);
+      return payload;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void CalibMemo::insert(const std::string& id,
+                       std::vector<std::uint64_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.inserts;
+  if (hooks_.store) hooks_.store(id, payload);
+  map_.insert_or_assign(id, std::move(payload));
+}
+
+void CalibMemo::install_hooks(Hooks hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_ = std::move(hooks);
+}
+
+CalibMemo::Stats CalibMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CalibMemo::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void CalibMemo::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+std::size_t CalibMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace duti

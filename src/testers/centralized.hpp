@@ -12,16 +12,9 @@
 
 namespace duti {
 
-/// How a tester materializes its q draws (DESIGN.md section 8). The three
-/// centralized testers are count-only statistics, so they can consume a
-/// per-element histogram directly:
-///   kPerSample — sample_many + tally; the historical RNG stream.
-///   kCounts    — SampleSource::sample_counts multinomial kernels,
-///                O(min(n, q)) RNG work instead of O(q). Draws come from
-///                the same distribution but consume the RNG DIFFERENTLY, so
-///                per-trial outcomes (and thus measured ProbeResults) shift
-///                within statistical noise; opt-in for that reason.
-enum class SamplingKernel : std::uint8_t { kPerSample = 0, kCounts = 1 };
+// SamplingKernel now lives beside SampleSource (sim/sample_source.hpp,
+// re-exported here through that include) so the distributed protocol plane
+// can share the flag without a testers-layer dependency.
 
 /// Collision-count tester: accept iff the pair-collision count among the q
 /// samples is below the midpoint between the uniform expectation

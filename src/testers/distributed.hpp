@@ -14,13 +14,25 @@
 // Referee thresholds are calibrated by simulating a single player on the
 // uniform distribution (the tester knows n and q, so this is information
 // the protocol legitimately has). Calibration trials should exceed ~30*k
-// so the referee threshold's error stays below binomial noise.
+// so the referee threshold's error stays below binomial noise. Calibration
+// results are memoized through CalibMemo (calibration.hpp) keyed by the
+// full construction identity including the calibration RNG's entry state;
+// a memo hit restores the RNG's exit state, so memoized and fresh
+// constructions are indistinguishable to the caller.
+//
+// run() executes on the batched protocol plane (sim/protocol_batch.hpp):
+// the vote functor and referee rule are resolved once at construction and
+// trials run through reusable per-worker buffers — bit-identical verdicts
+// to the legacy SimultaneousProtocol path (make_protocol()/make_rule(),
+// kept as the comparator), with zero per-trial heap allocations.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "sim/decision_rule.hpp"
 #include "sim/protocol.hpp"
+#include "sim/protocol_batch.hpp"
 #include "sim/sample_source.hpp"
 #include "util/rng.hpp"
 
@@ -31,6 +43,12 @@ struct DistributedTesterConfig {
   unsigned k = 0;       // number of players
   unsigned q = 0;       // samples per player (>= 2 so collisions exist)
   double eps = 0.0;     // proximity parameter
+  // How run() draws each player's samples (DESIGN.md section 8): kCounts
+  // swaps the per-sample stream for multinomial count kernels — same
+  // distribution, different RNG consumption, so it is opt-in. Calibration
+  // always uses the per-sample stream regardless (the memoized referee
+  // thresholds are kernel-independent).
+  SamplingKernel kernel = SamplingKernel::kPerSample;
 };
 
 /// Shared implementation detail: a player that votes "reject" iff its local
@@ -45,7 +63,7 @@ class DistributedThresholdTester {
   DistributedThresholdTester(DistributedTesterConfig cfg, Rng& calib_rng,
                              std::size_t calib_trials = 0 /* auto */);
 
-  /// One full protocol execution; true = accept.
+  /// One full protocol execution on the batched plane; true = accept.
   [[nodiscard]] bool run(const SampleSource& source, Rng& rng) const;
 
   /// The referee's rule: reject iff at least referee_threshold() players
@@ -59,15 +77,23 @@ class DistributedThresholdTester {
     return cfg_;
   }
 
-  /// Expose the protocol and rule for integration with other harness code.
+  /// Expose the legacy protocol and rule — integration with other harness
+  /// code, and the comparator for the batched plane's bit-identity tests.
   [[nodiscard]] SimultaneousProtocol make_protocol() const;
   [[nodiscard]] DecisionRule make_rule() const;
+
+  /// The batched executor run() dispatches to (exposed for benches/tests).
+  [[nodiscard]] const ProtocolBatchExecutor& executor() const {
+    return *exec_;
+  }
 
  private:
   DistributedTesterConfig cfg_;
   double local_t_ = 0.0;
   double p_u_ = 0.0;
   std::uint64_t referee_t_ = 1;
+  std::optional<ProtocolBatchExecutor> exec_;
+  std::optional<DecisionRule> rule_;
 };
 
 class DistributedAndTester {
@@ -84,9 +110,15 @@ class DistributedAndTester {
   [[nodiscard]] SimultaneousProtocol make_protocol() const;
   [[nodiscard]] DecisionRule make_rule() const { return DecisionRule::and_rule(); }
 
+  [[nodiscard]] const ProtocolBatchExecutor& executor() const {
+    return *exec_;
+  }
+
  private:
   DistributedTesterConfig cfg_;
   double local_t_ = 0.0;
+  std::optional<ProtocolBatchExecutor> exec_;
+  std::optional<DecisionRule> rule_;
 };
 
 }  // namespace duti

@@ -77,6 +77,23 @@ FixedThresholdTester::FixedThresholdTester(Config cfg) : cfg_(cfg) {
   const double at_c = poisson_pmf(lambda, c_);
   gamma_ = at_c > 0.0 ? std::clamp((p_star_ - tail_above) / at_c, 0.0, 1.0)
                       : 0.0;
+
+  // Batched vote: same integer statistic, same boundary bernoulli drawn
+  // from the same post-sampling player stream as the legacy player — so
+  // randomized boundary votes replay bit-for-bit.
+  const std::uint64_t c = c_;
+  const double gamma = gamma_;
+  exec_.emplace(
+      cfg_.k, cfg_.q,
+      [c, gamma](unsigned /*j*/, std::uint64_t pairs, Rng& rng) {
+        bool reject = pairs > c;
+        if (!reject && pairs == c) {
+          reject = rng.next_bernoulli(gamma);
+        }
+        return Message::bit(!reject);
+      },
+      1U, cfg_.kernel);
+  rule_.emplace(DecisionRule::threshold(cfg_.t));
 }
 
 SimultaneousProtocol FixedThresholdTester::make_protocol() const {
@@ -101,8 +118,7 @@ SimultaneousProtocol FixedThresholdTester::make_protocol() const {
 bool FixedThresholdTester::run(const SampleSource& source, Rng& rng) const {
   require(source.domain_size() == cfg_.n,
           "FixedThresholdTester: domain size mismatch");
-  const auto protocol = make_protocol();
-  return protocol.run(source, rng, make_rule()).accept;
+  return exec_->run(source, rng, *rule_);
 }
 
 }  // namespace duti

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "sim/protocol.hpp"
+#include "sim/protocol_batch.hpp"
 #include "sim/sample_source.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +42,8 @@ class FixedThresholdTester {
     double eps = 0.0;
     std::uint64_t t = 1;       // referee: reject iff >= T players reject
     double uniform_risk = 0.2;  // budget for P(false global reject)
+    // Sampling plane for run() (see DistributedTesterConfig::kernel).
+    SamplingKernel kernel = SamplingKernel::kPerSample;
   };
 
   explicit FixedThresholdTester(Config cfg);
@@ -64,11 +68,17 @@ class FixedThresholdTester {
     return DecisionRule::threshold(cfg_.t);
   }
 
+  [[nodiscard]] const ProtocolBatchExecutor& executor() const {
+    return *exec_;
+  }
+
  private:
   Config cfg_;
   double p_star_ = 0.0;
   std::uint64_t c_ = 0;
   double gamma_ = 0.0;
+  std::optional<ProtocolBatchExecutor> exec_;
+  std::optional<DecisionRule> rule_;
 };
 
 }  // namespace duti

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "testers/calibration.hpp"
 #include "testers/collision.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
@@ -37,22 +39,52 @@ MultibitSumTester::MultibitSumTester(Config cfg, Rng& calib_rng,
   if (calib_trials == 0) {
     calib_trials = std::max<std::size_t>(4000, 30ULL * cfg_.k);
   }
-  // Estimate mean and variance of the encoded count under uniform.
-  const UniformSource uniform(cfg_.n);
-  std::vector<std::uint64_t> samples;
-  std::vector<double> encoded;
-  encoded.reserve(calib_trials);
-  for (std::size_t t = 0; t < calib_trials; ++t) {
-    uniform.sample_many(calib_rng, cfg_.q, samples);
-    encoded.push_back(static_cast<double>(
-        encode_count(collision_pairs(samples), cfg_.r, offset_)));
+  // Memo key: resolved trial count + calibration stream entry state (see
+  // DistributedThresholdTester). The encoded statistic depends on (n, q,
+  // r) but not k, so k is omitted.
+  std::ostringstream id;
+  id << "mbit|n=" << cfg_.n << "|q=" << cfg_.q << "|eps="
+     << calib_pack_double(cfg_.eps) << "|r=" << cfg_.r << "|t="
+     << calib_trials << "|rng=" << calib_rng_tag(calib_rng);
+  double m_u = 0.0;
+  double v_u = 0.0;
+  if (auto payload = CalibMemo::global().lookup(id.str());
+      payload && payload->size() == 7) {
+    m_u = calib_unpack_double((*payload)[1]);
+    v_u = calib_unpack_double((*payload)[2]);
+    calib_rng.set_state(
+        Rng::State{(*payload)[3], (*payload)[4], (*payload)[5], (*payload)[6]});
+  } else {
+    // Estimate mean and variance of the encoded count under uniform.
+    const UniformSource uniform(cfg_.n);
+    std::vector<std::uint64_t> samples;
+    std::vector<double> encoded;
+    encoded.reserve(calib_trials);
+    for (std::size_t t = 0; t < calib_trials; ++t) {
+      uniform.sample_many(calib_rng, cfg_.q, samples);
+      encoded.push_back(static_cast<double>(encode_count(
+          tallied_collision_pairs(samples, cfg_.n), cfg_.r, offset_)));
+    }
+    m_u = mean(encoded);
+    v_u = encoded.size() >= 2 ? sample_variance(encoded) : 0.0;
+    const Rng::State end = calib_rng.state();
+    CalibMemo::global().insert(
+        id.str(), {calib_trials, calib_pack_double(m_u),
+                   calib_pack_double(v_u), end[0], end[1], end[2], end[3]});
   }
-  const double m_u = mean(encoded);
-  const double v_u = encoded.size() >= 2 ? sample_variance(encoded) : 0.0;
   const double kd = static_cast<double>(cfg_.k);
   // Accept iff the sum of encoded counts is below mean + 1 sd (same
   // one-sided calibration as the 1-bit threshold tester).
   sum_t_ = kd * m_u + std::sqrt(std::max(1e-12, kd * v_u));
+
+  const unsigned r = cfg_.r;
+  const std::uint64_t offset = offset_;
+  exec_.emplace(
+      cfg_.k, cfg_.q,
+      [r, offset](unsigned /*j*/, std::uint64_t pairs, Rng& /*rng*/) {
+        return Message{encode_count(pairs, r, offset), r};
+      },
+      r, cfg_.kernel);
 }
 
 SimultaneousProtocol MultibitSumTester::make_protocol() const {
@@ -75,8 +107,9 @@ SimultaneousProtocol MultibitSumTester::make_protocol() const {
 bool MultibitSumTester::run(const SampleSource& source, Rng& rng) const {
   require(source.domain_size() == cfg_.n,
           "MultibitSumTester: domain size mismatch");
-  const auto protocol = make_protocol();
-  const auto messages = protocol.collect(source, rng);
+  // Same j-ascending fold over the same message integers as the legacy
+  // collect() path, so the referee total is bit-identical.
+  const auto& messages = exec_->collect_tls(source, rng);
   double total = 0.0;
   for (const auto& m : messages) total += static_cast<double>(m.bits);
   return total < sum_t_;

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "sim/protocol.hpp"
+#include "sim/protocol_batch.hpp"
 #include "sim/sample_source.hpp"
 #include "util/rng.hpp"
 
@@ -26,10 +28,14 @@ class MultibitSumTester {
     unsigned q = 0;
     double eps = 0.0;
     unsigned r = 1;  // message bits per player, in [1, 24]
+    // Sampling plane for run(); calibration is always per-sample (see
+    // DistributedTesterConfig::kernel).
+    SamplingKernel kernel = SamplingKernel::kPerSample;
   };
 
   /// Calibrates the referee threshold on uniform inputs (see
-  /// DistributedThresholdTester for the calibration rationale).
+  /// DistributedThresholdTester for the calibration rationale; memoized
+  /// through CalibMemo the same way).
   MultibitSumTester(Config cfg, Rng& calib_rng,
                     std::size_t calib_trials = 0 /* auto */);
 
@@ -49,12 +55,18 @@ class MultibitSumTester {
     return offset_;
   }
 
+  /// Legacy comparator path (bit-identity tests run() against it).
   [[nodiscard]] SimultaneousProtocol make_protocol() const;
+
+  [[nodiscard]] const ProtocolBatchExecutor& executor() const {
+    return *exec_;
+  }
 
  private:
   Config cfg_;
   std::uint64_t offset_ = 0;
   double sum_t_ = 0.0;
+  std::optional<ProtocolBatchExecutor> exec_;
 };
 
 }  // namespace duti

@@ -26,7 +26,14 @@ class CapacityError : public Error {
   explicit CapacityError(const std::string& what) : Error(what) {}
 };
 
-/// Internal helper: throw InvalidArgument unless `cond` holds.
+/// Internal helper: throw InvalidArgument unless `cond` holds. The
+/// `const char*` overload is the hot-path form: literal call sites must not
+/// materialize a std::string (one heap allocation) when the check passes —
+/// the batched protocol plane's zero-allocation-per-trial gate
+/// (bench/micro_protocol) counts every one.
+inline void require(bool cond, const char* what) {
+  if (!cond) throw InvalidArgument(what);
+}
 inline void require(bool cond, const std::string& what) {
   if (!cond) throw InvalidArgument(what);
 }

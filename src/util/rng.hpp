@@ -102,6 +102,14 @@ class Xoshiro256pp {
   /// Bernoulli(p) draw.
   bool next_bernoulli(double p) noexcept { return next_double() < p; }
 
+  /// The four state words, exposed so deterministic-RNG accounting can be
+  /// checkpointed and replayed (the calibration memo stores the stream's
+  /// entry state in its key and restores the exit state on a hit, so a
+  /// memoized construction consumes the stream exactly like a fresh one).
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] State state() const noexcept { return state_; }
+  void set_state(const State& s) noexcept { state_ = s; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -308,6 +308,67 @@ const auto a = find_min_param(probe, cfg);
   EXPECT_EQ(count_rule(r, "no-serial-sweep-loop"), 0u);
 }
 
+TEST(NoPerTrialAlloc, FlagsAllocationInsideSimLayerLoops) {
+  const auto r = lint("src/sim/runner.cpp", R"(void run() {
+  for (int t = 0; t < trials; ++t) {
+    auto p = std::make_unique<Player>(j);
+    auto q = new Message();
+  }
+  while (more())
+    auto s = std::make_shared<State>();
+}
+)");
+  EXPECT_EQ(count_rule(r, "no-per-trial-alloc"), 3u);
+  EXPECT_EQ(r.findings[0].line, 3);
+}
+
+TEST(NoPerTrialAlloc, HoistedAllocationIsClean) {
+  const auto r = lint("src/sim/runner.cpp", R"(void run() {
+  auto p = std::make_unique<Player>(0);
+  std::vector<Message> messages;
+  for (int t = 0; t < trials; ++t) {
+    messages.resize(k);
+    use(*p, messages);
+  }
+}
+)");
+  EXPECT_EQ(count_rule(r, "no-per-trial-alloc"), 0u);
+}
+
+TEST(NoPerTrialAlloc, OutOfScopePathsAreClean) {
+  // The rule polices the sim layer only; testers and benches hoist through
+  // their own idioms and tests may allocate freely.
+  const auto testers = lint("src/testers/foo.cpp", R"(for (;;) {
+  auto p = std::make_unique<Player>(0);
+}
+)");
+  EXPECT_EQ(count_rule(testers, "no-per-trial-alloc"), 0u);
+  const auto bench = lint("bench/e99_demo.cpp", R"(while (t--) {
+  auto p = new Probe();
+}
+)");
+  EXPECT_EQ(count_rule(bench, "no-per-trial-alloc"), 0u);
+}
+
+TEST(NoPerTrialAlloc, LookalikesAndNonLoopScopesAreClean) {
+  // "new" inside identifiers/comments/strings, and allocation in straight-
+  // line code, must not fire.
+  const auto r = lint("src/sim/runner.cpp", R"(int renewal = 0;
+// for (;;) { new Player; } in a comment
+const char* s = "for (;;) { new Player; }";
+auto p = std::make_unique<Player>(0);
+)");
+  EXPECT_EQ(count_rule(r, "no-per-trial-alloc"), 0u);
+}
+
+TEST(NoPerTrialAlloc, LineSuppressionApplies) {
+  const auto r = lint("src/sim/runner.cpp", R"(for (int t = 0; t < n; ++t) {
+  auto p = std::make_unique<P>();  // duti-lint: allow(no-per-trial-alloc) -- cold setup loop
+}
+)");
+  EXPECT_EQ(count_rule(r, "no-per-trial-alloc"), 0u);
+}
+
 TEST(Lexer, CommentsAndStringsAreInvisible) {
   const auto r = lint("src/a.cpp",
                       "// std::random_device in a comment\n"

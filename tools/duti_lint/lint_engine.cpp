@@ -268,6 +268,15 @@ std::vector<Rule> build_rules() {
        "bit-identical to the vector paths",
        {"src/", "tests/", "bench/"},
        {"src/util/simd.hpp", "src/util/kernels"}, false},
+      // Protocol-plane discipline (DESIGN.md section 14): trial loops in
+      // the sim layer run through reusable flat buffers; per-iteration
+      // heap construction is what the batched executor exists to remove.
+      {"no-per-trial-alloc",
+       "heap allocation (new/make_unique/make_shared) inside a loop in "
+       "the sim layer churns the allocator once per trial; reuse flat "
+       "per-worker buffers (sim/protocol_batch.hpp) or hoist the "
+       "construction out of the loop",
+       {"src/sim/"}, {}, false},
       // Sweep discipline: benches that q*-sweep an axis should go through
       // the sweep engine (warm starts, shared cache, point parallelism)
       // instead of a serial loop of cold find_min_param calls.
@@ -630,6 +639,85 @@ void check_intrinsics(const std::string& file, const std::vector<LexedLine>& lin
   }
 }
 
+void check_per_trial_alloc(const std::string& file,
+                           const std::vector<LexedLine>& lines,
+                           RawFindings& out) {
+  // Lexical loop tracking: brace-depth bookkeeping plus a small state
+  // machine for for/while headers, covering braced bodies and unbraced
+  // single-statement bodies. Strings and comments are already blanked by
+  // the lexer, so every brace/paren seen here is structural.
+  int depth = 0;                 // current brace depth
+  std::vector<int> loop_depths;  // depth at which each braced loop body opened
+  bool in_header = false;        // inside a for/while (...) header
+  int header_parens = 0;
+  bool armed = false;            // header closed; body token not yet seen
+  bool unbraced = false;         // inside a single-statement loop body
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    for (std::size_t p = 0; p < code.size(); ++p) {
+      const char c = code[p];
+      if (in_header) {
+        if (c == '(') ++header_parens;
+        if (c == ')' && --header_parens == 0) {
+          in_header = false;
+          armed = true;
+        }
+        continue;
+      }
+      if (armed && !is_space(c)) {
+        armed = false;
+        if (c == '{') {
+          loop_depths.push_back(depth);
+          ++depth;
+          continue;
+        }
+        unbraced = true;  // single-statement body: runs to the next ';'
+      }
+      if (c == '{') {
+        ++depth;
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        if (!loop_depths.empty() && loop_depths.back() == depth)
+          loop_depths.pop_back();
+        continue;
+      }
+      if (c == ';') {
+        unbraced = false;  // ends every nested single-statement body
+        continue;
+      }
+      if (!is_ident(c) || (p > 0 && is_ident(code[p - 1]))) continue;
+      auto word_is = [&](const char* w, std::size_t len) {
+        return code.compare(p, len, w) == 0 &&
+               (p + len >= code.size() || !is_ident(code[p + len]));
+      };
+      if (word_is("for", 3) || word_is("while", 5)) {
+        const std::size_t len = c == 'f' ? 3 : 5;
+        const std::size_t after = skip_spaces(code, p + len);
+        if (after < code.size() && code[after] == '(') {
+          in_header = true;
+          header_parens = 1;
+          p = after;
+        } else {
+          p += len - 1;
+        }
+        continue;
+      }
+      const bool in_loop = !loop_depths.empty() || unbraced;
+      if (in_loop && (word_is("new", 3) || word_is("make_unique", 11) ||
+                      word_is("make_shared", 11))) {
+        add(out, file, static_cast<int>(i + 1), "no-per-trial-alloc",
+            "heap allocation inside a loop on a sim hot path; reuse flat "
+            "per-worker buffers (sim/protocol_batch.hpp) or hoist the "
+            "construction out of the trial loop");
+        // One finding per line is enough; skip the rest of the line.
+        p = code.size();
+      }
+    }
+  }
+}
+
 void check_serial_sweep_loop(const std::string& file,
                              const std::vector<LexedLine>& lines,
                              RawFindings& out) {
@@ -703,6 +791,8 @@ void lint_source(const std::string& rel_path, const std::string& content,
     check_exit_in_library(rel_path, lines, raw);
   if (enabled("no-intrinsics-outside-kernels"))
     check_intrinsics(rel_path, lines, raw);
+  if (enabled("no-per-trial-alloc"))
+    check_per_trial_alloc(rel_path, lines, raw);
   if (enabled("no-serial-sweep-loop"))
     check_serial_sweep_loop(rel_path, lines, raw);
 
